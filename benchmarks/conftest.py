@@ -1,0 +1,23 @@
+"""Shared settings for the figure benchmarks.
+
+Every benchmark runs its experiment exactly once (simulated runs are
+deterministic; repeating them only re-measures host speed), prints the
+paper's series, and asserts the paper's *shape* claims: who wins, by
+roughly what factor, and where crossovers fall.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark *fn* with a single round/iteration."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1,
+                              iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture
+def once(benchmark):
+    def runner(fn, *args, **kwargs):
+        return run_once(benchmark, fn, *args, **kwargs)
+
+    return runner

@@ -1,0 +1,74 @@
+"""Ablation — staging-area sizing (compute : staging core ratio).
+
+The paper uses 64:1 (GTC) and 128:1 (Pixie3D) and names staging-area
+sizing models as future work (§VII).  This ablation sweeps the ratio:
+more staging processes shorten the pipeline (parallel fetch + shuffle
++ reduce) until movement becomes the floor; fewer staging processes
+stretch operation latency and raise per-node buffering pressure.
+"""
+
+import numpy as np
+
+from repro.adios import GroupDef, VarDef, VarKind
+from repro.core import PreDatA
+from repro.machine import Machine, TESTING_TINY
+from repro.mpi import World
+from repro.operators import SampleSortOperator
+from repro.sim import Engine
+
+GROUP = GroupDef(
+    "particles",
+    (VarDef("electrons", "float64", VarKind.LOCAL_ARRAY, ndim=2),),
+)
+NPROCS = 16
+ROWS = 64
+SCALE = 2000.0
+
+
+def run_ratio(n_staging_nodes: int) -> dict:
+    eng = Engine()
+    machine = Machine(eng, NPROCS, n_staging_nodes, spec=TESTING_TINY,
+                      fs_interference=False)
+    world = World(eng, machine.network, list(range(NPROCS)),
+                  node_lookup=machine.node)
+    op = SampleSortOperator("electrons", key_column=0)
+    predata = PreDatA(eng, machine, GROUP, [op], ncompute_procs=NPROCS,
+                      nsteps=1, volume_scale=SCALE)
+    predata.start()
+
+    def app(comm):
+        rng = np.random.default_rng(comm.rank)
+        data = rng.random((ROWS, 8))
+        data[:, 0] = rng.permutation(NPROCS * ROWS)[:ROWS]
+        from repro.adios import OutputStep
+
+        step = OutputStep(group=GROUP, step=0, rank=comm.rank,
+                          values={"electrons": data}, volume_scale=SCALE)
+        yield from predata.transport.write_step(comm, step)
+
+    world.spawn(app)
+    eng.run()
+    rep = predata.service.step_report(0)
+    return {
+        "staging_procs": predata.nstaging_procs,
+        "ratio": NPROCS * machine.spec.node.cores / predata.nstaging_procs,
+        "latency": rep.latency,
+        "peak_buffer": rep.peak_buffer_bytes,
+    }
+
+
+def test_ablation_staging_ratio(once):
+    def sweep():
+        return [run_ratio(n) for n in (1, 2, 4)]
+
+    results = once(sweep)
+    print()
+    for r in results:
+        print(f"staging procs={r['staging_procs']:2d} "
+              f"(~{r['ratio']:.0f}:1 cores)  latency={r['latency']:8.3f} s  "
+              f"peak buffer={r['peak_buffer'] / 1e6:7.1f} MB")
+    # a bigger staging area shortens operation latency
+    assert results[0]["latency"] > results[-1]["latency"]
+    # monotone trend across the sweep
+    lats = [r["latency"] for r in results]
+    assert lats == sorted(lats, reverse=True)

@@ -1,0 +1,34 @@
+"""Fig. 11 — merged vs unmerged BP read performance (§V.C).
+
+Shape claims asserted:
+
+- the reorganised (merged) layout reads ~an order of magnitude faster
+  (paper: 10x) for every one of the eight Pixie3D arrays;
+- the functional half really produces identical global arrays through
+  both paths, with the extent reduction equal to the
+  compute-to-staging writer ratio.
+"""
+
+from repro.experiments.fig11 import run_fig11
+from repro.experiments.report import fmt_seconds, format_table
+
+
+def test_fig11_read(once):
+    res = once(run_fig11, rep_cores=256)
+    print()
+    print(format_table(
+        ["var", "extents unmerged", "extents merged",
+         "read unmerged", "read merged", "speedup"],
+        [[r.var, r.extents_unmerged, r.extents_merged,
+          fmt_seconds(r.read_unmerged), fmt_seconds(r.read_merged),
+          f"{r.speedup:.1f}x"] for r in res.rows],
+        title="Fig. 11 — read one global array, merged vs unmerged",
+    ))
+    # functional files assemble to identical global arrays
+    assert res.functional_identical
+    # reorganisation collapses the extent count
+    assert res.rep_extents_merged < res.rep_extents_unmerged
+    # ~10x read improvement on every variable
+    for r in res.rows:
+        assert 5.0 < r.speedup < 20.0
+        assert r.extents_merged < r.extents_unmerged / 50

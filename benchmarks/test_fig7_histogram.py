@@ -1,0 +1,46 @@
+"""Fig. 7(b)(e) — 1-D histogram operation, both placements.
+
+Shape claims asserted (§V.B.1):
+
+- the histogram is computation-dominant: communication is a small
+  share of the In-Compute-Node operation time;
+- performing it in compute nodes takes *less* wall-clock time than in
+  the staging area, but the 8 MB result-file write is visible to the
+  simulation and varies with file-system state (0.25–7 s in the
+  paper);
+- the Staging configuration insulates the simulation: its visible
+  write time is tiny and the operation hides inside the I/O interval.
+"""
+
+from repro.experiments.fig7 import run_fig7
+from repro.experiments.report import fmt_seconds, format_table
+
+SCALES = [512, 4096, 16384]
+FAST = dict(ndumps=1, iterations_per_dump=2,
+            compute_seconds_per_iteration=10.0)
+
+
+def test_fig7_histogram(once):
+    rows = once(run_fig7, "histogram", SCALES, **FAST)
+    print()
+    print(format_table(
+        ["cores", "config", "compute", "communicate", "io",
+         "op time", "latency"],
+        [[r.cores, r.placement, fmt_seconds(r.compute),
+          fmt_seconds(r.communicate), fmt_seconds(r.io),
+          fmt_seconds(r.total), fmt_seconds(r.latency)] for r in rows],
+        title="Fig. 7(b)(e) — histogram",
+    ))
+    ic = {r.cores: r for r in rows if r.placement == "incompute"}
+    st = {r.cores: r for r in rows if r.placement == "staging"}
+
+    for cores in SCALES:
+        # in-compute histogram is cheaper in wall-clock than staging's
+        # pipeline view of the same operation
+        assert ic[cores].total < st[cores].total + st[cores].movement
+        # the visible result-file write is a real cost in compute nodes
+        assert ic[cores].io > 0.05
+        # staging hides the file write from the simulation
+        assert st[cores].io < ic[cores].io
+        # staging fits inside the 120 s interval with large margin
+        assert st[cores].latency < 120.0 * 0.5

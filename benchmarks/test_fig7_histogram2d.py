@@ -1,0 +1,45 @@
+"""Fig. 7(c)(f) — 2-D histogram operation, both placements.
+
+Same conclusions as the 1-D histogram (§V.B.1: "much like those of
+the previous one"), with higher computation and communication
+requirements — asserted by comparing against the 1-D operation.
+"""
+
+from repro.experiments.fig7 import run_fig7
+from repro.experiments.report import fmt_seconds, format_table
+
+SCALES = [512, 16384]
+FAST = dict(ndumps=1, iterations_per_dump=2,
+            compute_seconds_per_iteration=10.0)
+
+
+def test_fig7_histogram2d(once):
+    def both():
+        return (
+            run_fig7("histogram2d", SCALES, **FAST),
+            run_fig7("histogram", SCALES, **FAST),
+        )
+
+    rows2d, rows1d = once(both)
+    print()
+    print(format_table(
+        ["cores", "config", "compute", "communicate", "io",
+         "op time", "latency"],
+        [[r.cores, r.placement, fmt_seconds(r.compute),
+          fmt_seconds(r.communicate), fmt_seconds(r.io),
+          fmt_seconds(r.total), fmt_seconds(r.latency)] for r in rows2d],
+        title="Fig. 7(c)(f) — 2-D histogram",
+    ))
+    ic2 = {r.cores: r for r in rows2d if r.placement == "incompute"}
+    st2 = {r.cores: r for r in rows2d if r.placement == "staging"}
+    ic1 = {r.cores: r for r in rows1d if r.placement == "incompute"}
+    st1 = {r.cores: r for r in rows1d if r.placement == "staging"}
+
+    for cores in SCALES:
+        # higher computation + communication than the 1-D histogram
+        assert ic2[cores].compute >= ic1[cores].compute
+        assert st2[cores].communicate >= st1[cores].communicate
+        # same placement conclusions as the 1-D case
+        assert ic2[cores].io > 0.05  # visible result write
+        assert st2[cores].io < ic2[cores].io
+        assert st2[cores].latency < 120.0 * 0.5

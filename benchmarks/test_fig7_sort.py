@@ -1,0 +1,48 @@
+"""Fig. 7(a)(d) — sorting operation, In-Compute-Node vs Staging.
+
+Shape claims asserted (§V.B.1):
+
+- sorting is communication-intensive: in the In-Compute-Node
+  configuration its cost is visible to the simulation and grows with
+  scale (the all-to-all data shuffle);
+- in the Staging configuration the operation time stays bounded at
+  every scale and fits comfortably inside the 120 s I/O interval;
+- the price is ~2 orders of magnitude higher latency to sorted data.
+"""
+
+from repro.experiments.fig7 import run_fig7
+from repro.experiments.report import fmt_seconds, format_table
+
+SCALES = [512, 2048, 8192, 16384]
+FAST = dict(ndumps=1, iterations_per_dump=2,
+            compute_seconds_per_iteration=10.0)
+
+
+def test_fig7_sort(once):
+    rows = once(run_fig7, "sort", SCALES, **FAST)
+    print()
+    print(format_table(
+        ["cores", "config", "compute", "communicate", "movement",
+         "op time", "latency"],
+        [[r.cores, r.placement, fmt_seconds(r.compute),
+          fmt_seconds(r.communicate), fmt_seconds(r.movement),
+          fmt_seconds(r.total), fmt_seconds(r.latency)] for r in rows],
+        title="Fig. 7(a)(d) — sort",
+    ))
+    ic = {r.cores: r for r in rows if r.placement == "incompute"}
+    st = {r.cores: r for r in rows if r.placement == "staging"}
+
+    # in-compute sort cost grows with scale (communication term)
+    assert ic[16384].communicate > ic[512].communicate * 1.5
+    # staging operation time bounded and inside the I/O interval
+    for cores in SCALES:
+        assert st[cores].total < 120.0 * 0.6
+    spread = max(st[c].total for c in SCALES) / min(
+        st[c].total for c in SCALES
+    )
+    assert spread < 2.0  # weak-scaled staging load: near-flat
+    # staging latency >> in-compute latency (paper: ~2 orders)
+    for cores in SCALES:
+        assert st[cores].latency > ic[cores].latency * 10
+    # but staging sorts off the critical path: in-compute op time is
+    # visible to the simulation, staging's is not (checked in fig8)

@@ -1,0 +1,54 @@
+"""Fig. 8 — GTC simulation performance (both configurations).
+
+Shape claims asserted (§V.B.2):
+
+- the Staging configuration improves total execution time at every
+  scale (paper band: 2.7–5.1 %), with the gain growing as visible
+  sync-write time grows;
+- visible I/O blocking collapses under staging (8.6 s -> 0.30 s at
+  16,384 cores in the paper);
+- in-compute operation time is a growing share of the interval
+  (3.0 % -> 4.1 % in the paper) while the staging config spends none;
+- total CPU usage (wall x cores, staging billed +1.5 % cores) is lower
+  with staging at every scale.
+"""
+
+from repro.experiments.fig8 import run_fig8
+from repro.experiments.report import fmt_pct, fmt_seconds, format_table
+
+SCALES = [512, 2048, 16384]
+FAST = dict(ndumps=1, iterations_per_dump=4,
+            compute_seconds_per_iteration=27.0)
+
+
+def test_fig8_gtc(once):
+    rows = once(run_fig8, SCALES, **FAST)
+    print()
+    print(format_table(
+        ["cores", "total IC", "total ST", "ops IC", "io IC", "io ST",
+         "improvement", "CPU saving"],
+        [[r.cores, fmt_seconds(r.total_incompute),
+          fmt_seconds(r.total_staging), fmt_seconds(r.ops_incompute),
+          fmt_seconds(r.io_incompute), fmt_seconds(r.io_staging),
+          fmt_pct(r.improvement_pct), fmt_pct(r.cpu_saving_pct)]
+         for r in rows],
+        title="Fig. 8 — GTC simulation performance",
+    ))
+    by_scale = {r.cores: r for r in rows}
+    for cores in SCALES:
+        r = by_scale[cores]
+        # staging wins on total time at every scale
+        assert r.improvement_pct > 0.0
+        # visible write latency collapses (>95 % hidden)
+        assert r.io_staging < r.io_incompute * 0.1
+        # in-compute ops are a real, visible cost
+        assert r.ops_incompute > 0.5
+        # CPU bill (including the extra staging cores) still lower
+        assert r.cpu_saving_pct > 0.0
+    # the sync-write penalty grows with scale, so the improvement does
+    assert (
+        by_scale[16384].io_incompute > by_scale[512].io_incompute * 2
+    )
+    assert (
+        by_scale[16384].improvement_pct >= by_scale[512].improvement_pct
+    )

@@ -1,0 +1,44 @@
+"""Fig. 9 — DataSpaces setup, hashing and query time (§V.B.4).
+
+Shape claims asserted:
+
+- the first query (setup: hashing, discovery, routing, retrieval) is
+  significantly more expensive than subsequent queries — a one-time
+  cost;
+- steady-state query time grows with the number of querying cores
+  (the weak-scaled domain maps onto more staging cores, and each
+  query assembles more replies);
+- preparation (fetch + sort + index) and all 11 queries complete well
+  inside the 120 s output interval (paper: <=55 s prepare, <80 s
+  queries).
+"""
+
+from repro.experiments.fig9 import run_fig9
+from repro.experiments.report import fmt_seconds, format_table
+
+CORES = [32, 64, 128, 256]
+
+
+def test_fig9_dataspaces(once):
+    rows = once(run_fig9, CORES)
+    print()
+    print(format_table(
+        ["query cores", "servers", "setup", "hashing", "query",
+         "indexing", "all queries"],
+        [[r.n_query_cores, r.n_servers, fmt_seconds(r.setup_seconds),
+          fmt_seconds(r.hashing_seconds), fmt_seconds(r.query_seconds),
+          fmt_seconds(r.index_seconds),
+          fmt_seconds(r.all_queries_seconds)] for r in rows],
+        title="Fig. 9 — DataSpaces",
+    ))
+    by_cores = {r.n_query_cores: r for r in rows}
+    for r in rows:
+        # first-query setup dominates steady-state queries
+        assert r.setup_seconds + r.hashing_seconds > r.query_seconds * 0.5
+        # everything fits in the 120 s output interval
+        assert r.index_seconds < 55.0
+        assert r.all_queries_seconds < 80.0
+    # setup cost grows with the number of first-time clients
+    assert by_cores[256].setup_seconds > by_cores[32].setup_seconds * 2
+    # steady-state query time grows with scale (paper's observation)
+    assert by_cores[256].query_seconds > by_cores[32].query_seconds

@@ -1,0 +1,21 @@
+"""Headline §V quoted numbers — paper vs measured (H-gtc / H-pixie).
+
+Runs every prose claim of the evaluation through the model and asserts
+each holds in shape (see repro.experiments.headline for the list).
+"""
+
+from repro.experiments.headline import run_headline
+from repro.experiments.report import format_table
+
+
+def test_headline_numbers(once):
+    rows = once(run_headline, fast=True)
+    print()
+    print(format_table(
+        ["metric", "paper", "measured", "holds"],
+        [[r.metric, r.paper, r.measured, "yes" if r.holds else "NO"]
+         for r in rows],
+        title="Headline §V numbers",
+    ))
+    failing = [r for r in rows if not r.holds]
+    assert not failing, f"claims not holding: {[r.metric for r in failing]}"

@@ -1,0 +1,145 @@
+#!/usr/bin/env python
+"""Writing a custom PreDatA operator (§IV.C's pluggable framework).
+
+Implements a *top-k outlier finder*: while GTC-like particle data
+streams through the staging area, find the k particles with the
+largest velocity magnitude — the kind of lightweight "latent data
+characteristic" the paper's introduction motivates (validate the
+simulation, catch anomalies early).
+
+The operator shows every extension hook:
+
+- ``partial_calculate`` — local velocity percentile on the compute
+  node, attached to the fetch request;
+- ``aggregate``        — a global pre-filter threshold, known before
+  any bulk data moves;
+- ``map``              — per-chunk candidate extraction (only rows
+  above the threshold survive, so almost nothing is shuffled);
+- ``combine/partition/reduce`` — keep a single global top-k;
+- ``finalize``         — report the winners.
+
+Run:  python examples/custom_operator.py
+"""
+
+import numpy as np
+
+from repro.adios import GroupDef, OutputStep, VarDef, VarKind
+from repro.core import Emit, OperatorContext, PreDatA, PreDatAOperator
+from repro.machine import Machine, TESTING_TINY
+from repro.mpi import World
+from repro.sim import Engine
+
+GROUP = GroupDef(
+    "particles",
+    (VarDef("particles", "float64", VarKind.LOCAL_ARRAY, ndim=2),),
+)
+NPROCS = 8
+ROWS = 400
+K = 10
+VCOLS = slice(3, 6)  # velocity components
+
+
+class TopKOutliers(PreDatAOperator):
+    """Global top-k particles by velocity magnitude."""
+
+    name = "topk"
+
+    def __init__(self, k: int):
+        self.k = k
+
+    # pass 1: a cheap local summary (99th percentile of |v|)
+    def partial_calculate(self, step: OutputStep):
+        v = np.linalg.norm(step.values["particles"][:, VCOLS], axis=1)
+        return float(np.percentile(v, 99)) if v.size else None
+
+    def partial_flops(self, step: OutputStep) -> float:
+        return 8.0 * step.nbytes_logical / 8.0
+
+    # stage 2: global pre-filter threshold = max local percentile / 2
+    def aggregate(self, partials):
+        return max(p for p in partials if p is not None) * 0.5
+
+    # stage 4: stream each chunk, keep candidates above the threshold
+    def map(self, ctx: OperatorContext, step: OutputStep):
+        data = step.values["particles"]
+        v = np.linalg.norm(data[:, VCOLS], axis=1)
+        keep = v >= ctx.aggregated
+        if not keep.any():
+            return []
+        return [Emit("topk", (v[keep], data[keep]))]
+
+    def combine(self, ctx, items):
+        # local top-k before the shuffle: bounded shuffle volume
+        if not items:
+            return items
+        vs = np.concatenate([v for v, _ in (e.value for e in items)])
+        rows = np.concatenate([d for _, d in (e.value for e in items)])
+        order = np.argsort(vs)[::-1][: self.k]
+        return [Emit("topk", (vs[order], rows[order]))]
+
+    def partition(self, ctx, tag):
+        return 0  # a single global reducer
+
+    def reduce(self, ctx, tag, values):
+        vs = np.concatenate([v for v, _ in values])
+        rows = np.concatenate([d for _, d in values])
+        order = np.argsort(vs)[::-1][: self.k]
+        return (vs[order], rows[order])
+
+    def finalize(self, ctx, reduced):
+        return reduced.get("topk")
+
+    def logical_fraction_shuffled(self) -> float:
+        return 0.0  # only top-k candidates cross the shuffle
+
+
+def main() -> None:
+    eng = Engine()
+    machine = Machine(eng, NPROCS, 1, spec=TESTING_TINY,
+                      fs_interference=False)
+    world = World(eng, machine.network, list(range(NPROCS)),
+                  node_lookup=machine.node)
+    op = TopKOutliers(K)
+    predata = PreDatA(eng, machine, GROUP, [op],
+                      ncompute_procs=NPROCS, nsteps=1, volume_scale=100.0)
+    predata.start()
+
+    all_data = {}
+
+    def app(comm):
+        rng = np.random.default_rng(comm.rank)
+        data = rng.normal(size=(ROWS, 8))
+        data[:, VCOLS] *= rng.uniform(0.5, 2.0)  # per-rank spread
+        all_data[comm.rank] = data
+        step = OutputStep(group=GROUP, step=0, rank=comm.rank,
+                          values={"particles": data}, volume_scale=100.0)
+        yield from predata.transport.write_step(comm, step)
+
+    world.spawn(app)
+    eng.run()
+
+    result = next(
+        r for r in (
+            predata.service.result("topk", 0, rank)
+            for rank in range(predata.nstaging_procs)
+        ) if r is not None
+    )
+    vs, rows = result
+    print(f"Top-{K} particles by |v| (found in-transit):")
+    for i, (v, row) in enumerate(zip(vs, rows)):
+        print(f"  #{i + 1}: |v|={v:.3f}  v=({row[3]:+.2f}, "
+              f"{row[4]:+.2f}, {row[5]:+.2f})")
+
+    # verify against a brute-force pass over all the data
+    full = np.concatenate(list(all_data.values()))
+    vfull = np.linalg.norm(full[:, VCOLS], axis=1)
+    expected = np.sort(vfull)[::-1][:K]
+    np.testing.assert_allclose(np.sort(vs)[::-1], expected)
+    rep = predata.service.step_report(0)
+    print(f"\nverified against brute force; shuffle moved only "
+          f"{rep.bytes_shuffled:.0f} B of "
+          f"{rep.bytes_fetched:.0f} B fetched")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,115 @@
+#!/usr/bin/env python
+"""Model-to-model coupling through DataSpaces (§IV.D, Fig. 6).
+
+Two concurrently running 'simulations' exchange a field through the
+DataSpaces shared space hosted on the staging area:
+
+- a *producer* (think: edge-plasma code) writes its 2-D field every
+  step under its own 4-block decomposition;
+- a *consumer* (think: core-plasma code) runs on a different number of
+  processes and pulls the sub-regions *it* needs — a different
+  decomposition — via ``get()``, plus a min/max/avg aggregation query;
+- a *monitor* registers a continuous query over a hot region and is
+  notified the moment intersecting data arrives.
+
+Run:  python examples/dataspaces_coupling.py
+"""
+
+import numpy as np
+
+from repro.dataspaces import DataSpaces, Region
+from repro.machine import Machine, TESTING_TINY
+from repro.sim import Engine
+
+N = 64  # global field is N x N
+NSTEPS = 3
+PRODUCERS = 4  # 1-D row-block decomposition
+CONSUMERS = 2  # different (column-block) decomposition
+
+
+def main() -> None:
+    eng = Engine()
+    machine = Machine(eng, PRODUCERS + CONSUMERS, 2,
+                      spec=TESTING_TINY, fs_interference=False)
+    ds = DataSpaces(eng, machine, list(machine.staging_node_ids))
+    ds.declare("field", (N, N))
+
+    notifications = []
+    ds.register_continuous(
+        "field", Region((0, 0), (16, 16)), client_node=PRODUCERS,
+        callback=lambda region, version:
+            notifications.append((eng.now, region, version)),
+    )
+
+    def truth(step):
+        x = np.linspace(0, 1, N)
+        return np.sin(2 * np.pi * (x[:, None] + 0.1 * step)) * x[None, :]
+
+    def producer(rank):
+        rows = N // PRODUCERS
+        lo = rank * rows
+        for step in range(NSTEPS):
+            yield eng.timeout(2.0)  # compute
+            field = truth(step)
+            yield from ds.put(
+                rank, "field",
+                Region((lo, 0), (lo + rows, N)),
+                field[lo : lo + rows],
+            )
+
+    checks = []
+
+    def consumer(rank):
+        cols = N // CONSUMERS
+        lo = rank * cols
+        for step in range(NSTEPS):
+            yield eng.timeout(2.5)  # its own cadence
+            region = Region((0, lo), (N, lo + cols))
+            block = yield from ds.get(PRODUCERS + rank, "field", region)
+            stats = yield from ds.query_reduce(
+                PRODUCERS + rank, "field", region
+            )
+            checks.append((step, rank, block, stats))
+
+    for r in range(PRODUCERS):
+        eng.process(producer(r), name=f"producer[{r}]")
+    for r in range(CONSUMERS):
+        eng.process(consumer(r), name=f"consumer[{r}]")
+    eng.run()
+
+    # Consumers read a *coherent* field: whichever version they saw,
+    # it matches some producer step exactly (never a torn mix would
+    # pass this column-wise check across all producers' blocks).
+    truths = [truth(s) for s in range(NSTEPS)]
+    matched = 0
+    for step, rank, block, stats in checks:
+        cols = N // CONSUMERS
+        lo = rank * cols
+        candidates = [t[:, lo : lo + cols] for t in truths]
+        hit = next(
+            (i for i, c in enumerate(candidates)
+             if np.allclose(block, c)), None
+        )
+        assert hit is not None, "consumer observed a torn field"
+        # the aggregation query ran moments after the get, so it may
+        # reflect a newer coherent version — but always *some* version
+        assert any(
+            np.isclose(stats["max"], c.max())
+            and np.isclose(stats["avg"], c.mean())
+            for c in candidates
+        ), "aggregation query saw a torn field"
+        matched += 1
+    print(f"{matched} consumer reads, every one a coherent snapshot of "
+          "some producer step")
+    print(f"{len(notifications)} continuous-query notifications "
+          f"(one per step intersecting the hot region):")
+    for t, region, version in notifications:
+        print(f"  t={t:6.3f} s  region {region.lb}..{region.ub}  "
+              f"version {version}")
+    assert len(notifications) == NSTEPS  # rank-0 block intersects each step
+    loads = ds.server_load()
+    print(f"server storage balance: {[f'{v/1e3:.0f} KB' for v in loads]}")
+
+
+if __name__ == "__main__":
+    main()

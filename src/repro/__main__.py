@@ -1,0 +1,78 @@
+"""Command-line entry point: ``python -m repro <command>``.
+
+Commands map to the experiment harness:
+
+- ``run-all``        — every figure + headline numbers
+- ``fig7``           — individual operations (sort/hist/2-D hist)
+- ``fig8``           — GTC simulation performance
+- ``fig9``           — DataSpaces query service
+- ``fig10``          — Pixie3D simulation performance
+- ``fig11``          — merged vs unmerged reads
+- ``headline``       — §V prose numbers, paper vs measured
+- ``utilization``    — staging-node headroom between dumps
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def main(argv=None) -> int:
+    """Parse arguments and dispatch to the chosen experiment."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="PreDatA (IPDPS 2010) reproduction harness",
+    )
+    parser.add_argument(
+        "command",
+        choices=["run-all", "fig7", "fig8", "fig9", "fig10", "fig11",
+                 "headline", "utilization"],
+        help="experiment to run",
+    )
+    parser.add_argument("--fast", action="store_true",
+                        help="trimmed simulated runs")
+    args = parser.parse_args(argv)
+
+    fast_fig7 = dict(ndumps=1, iterations_per_dump=2,
+                     compute_seconds_per_iteration=10.0)
+    fast_fig8 = dict(ndumps=1, iterations_per_dump=4,
+                     compute_seconds_per_iteration=27.0)
+
+    if args.command == "run-all":
+        from repro.experiments.run_all import run_all
+
+        run_all(fast=args.fast)
+    elif args.command == "fig7":
+        from repro.experiments import fig7
+
+        fig7.main(**(fast_fig7 if args.fast else {}))
+    elif args.command == "fig8":
+        from repro.experiments import fig8
+
+        fig8.main(**(fast_fig8 if args.fast else {}))
+    elif args.command == "fig9":
+        from repro.experiments import fig9
+
+        fig9.main()
+    elif args.command == "fig10":
+        from repro.experiments import fig10
+
+        fig10.main()
+    elif args.command == "fig11":
+        from repro.experiments import fig11
+
+        fig11.main()
+    elif args.command == "headline":
+        from repro.experiments import headline
+
+        headline.main(fast=args.fast)
+    elif args.command == "utilization":
+        from repro.experiments import utilization
+
+        utilization.main()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

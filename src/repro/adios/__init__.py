@@ -1,0 +1,58 @@
+"""ADIOS-style I/O layer: output groups, BP files, transport methods.
+
+Stands in for the ADIOS library [Lofstead et al.] that PreDatA
+integrates with (§IV.A).  Three pieces:
+
+- :mod:`repro.adios.group` — declarative *output group* definitions
+  (scalars, local arrays, partial chunks of global arrays) and the
+  :class:`~repro.adios.group.OutputStep` a process emits at each I/O
+  dump.  Steps pack to/from FFS *packed partial data chunks*.
+- :mod:`repro.adios.bp` — the BP log-structured file format: one
+  process-group record per writer plus a trailing index.  Chunk layout
+  is first-class so the merged-vs-unmerged read contrast of Fig. 11 is
+  measurable.
+- :mod:`repro.adios.io` — transport methods: synchronous MPI-IO to the
+  parallel file system (the paper's In-Compute-Node baseline) and the
+  hook point the PreDatA staging transport plugs into.
+
+Changing an application from synchronous I/O to PreDatA staging is a
+transport swap — no application-code change — which is the ADIOS
+property the paper leans on (§IV.A).
+"""
+
+from repro.adios.group import (
+    ChunkMeta,
+    GroupDef,
+    OutputStep,
+    VarDef,
+    VarKind,
+)
+from repro.adios.bp import BPFile, BPIndexEntry, BPWriter, ProcessGroup
+from repro.adios.io import IOMethod, SyncMPIIO
+from repro.adios.api import Adios, AdiosFile
+from repro.adios.config import (
+    AdiosConfig,
+    ConfigError,
+    make_transport,
+    parse_config,
+)
+
+__all__ = [
+    "Adios",
+    "AdiosConfig",
+    "AdiosFile",
+    "BPFile",
+    "ConfigError",
+    "make_transport",
+    "parse_config",
+    "BPIndexEntry",
+    "BPWriter",
+    "ChunkMeta",
+    "GroupDef",
+    "IOMethod",
+    "OutputStep",
+    "ProcessGroup",
+    "SyncMPIIO",
+    "VarDef",
+    "VarKind",
+]

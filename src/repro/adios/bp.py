@@ -1,0 +1,355 @@
+"""The BP log-structured file format (in-model representation).
+
+A BP file is a sequence of *process group* (PG) records — one per
+writing process per step — followed by an index that maps each variable
+to the chunks holding it.  Writing is append-only and requires no
+inter-writer coordination, which is why it is fast to write (§II.B);
+the price is that a global array's chunks end up scattered across the
+file, so *reading* one variable touches one extent per chunk.  PreDatA's
+layout-reorganisation operator exists exactly to collapse those extents
+(Fig. 11).
+
+Files live in memory as structured objects plus (optionally) real
+on-disk bytes via :meth:`BPFile.save` / :meth:`BPFile.load`, so tests
+can exercise genuine serialisation.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.adios.group import ChunkMeta, GroupDef, OutputStep, VarKind
+
+__all__ = ["ProcessGroup", "BPIndexEntry", "BPFile", "BPWriter"]
+
+
+@dataclass
+class ProcessGroup:
+    """One writer's record: its packed chunk plus placement info."""
+
+    rank: int
+    step: int
+    payload: bytes  # FFS packed partial data chunk
+    file_offset: int = 0
+    logical_nbytes: float = 0.0
+
+    @property
+    def nbytes(self) -> int:
+        return len(self.payload)
+
+
+@dataclass(frozen=True)
+class BPIndexEntry:
+    """Index record: where one var's chunk lives."""
+
+    var: str
+    step: int
+    pg_index: int
+    chunk: Optional[ChunkMeta]  # None for scalars / local arrays
+    local_dims: tuple[int, ...]
+
+
+class BPError(RuntimeError):
+    """Malformed BP file or invalid read request."""
+
+
+@dataclass
+class BPFile:
+    """A finalized BP file."""
+
+    name: str
+    group: GroupDef
+    pgs: list[ProcessGroup] = field(default_factory=list)
+    index: dict[str, list[BPIndexEntry]] = field(default_factory=dict)
+
+    # -- size ------------------------------------------------------------
+    @property
+    def nbytes(self) -> int:
+        return sum(pg.nbytes for pg in self.pgs)
+
+    @property
+    def logical_nbytes(self) -> float:
+        return sum(pg.logical_nbytes for pg in self.pgs)
+
+    # -- queries -----------------------------------------------------------
+    def steps(self) -> list[int]:
+        """Sorted list of step numbers present in the file."""
+        return sorted({pg.step for pg in self.pgs})
+
+    def entries(self, var: str, step: Optional[int] = None) -> list[BPIndexEntry]:
+        """Index entries for *var*, optionally filtered by step."""
+        if var not in self.index:
+            raise BPError(f"var {var!r} not in file {self.name!r}")
+        entries = self.index[var]
+        if step is not None:
+            entries = [e for e in entries if e.step == step]
+        return entries
+
+    def extents_for(self, var: str, step: Optional[int] = None) -> int:
+        """Discontiguous file extents a reader must touch for *var*.
+
+        Each chunk is one contiguous region inside its PG record, so
+        extents == number of chunks holding the variable.
+        """
+        return len(self.entries(var, step))
+
+    def read_global_array(
+        self, var: str, step: int, *, copy: bool = True
+    ) -> np.ndarray:
+        """Functionally assemble a global array from its chunks."""
+        vdef = self.group.var(var)
+        if vdef.kind is not VarKind.GLOBAL_ARRAY:
+            raise BPError(f"{var!r} is not a global array")
+        entries = self.entries(var, step)
+        if not entries:
+            raise BPError(f"no chunks for {var!r} at step {step}")
+        gdims = entries[0].chunk.global_dims
+        out = np.zeros(gdims, dtype=np.dtype(vdef.dtype))
+        filled = np.zeros(gdims, dtype=bool)
+        for e in entries:
+            pg = self.pgs[e.pg_index]
+            step_obj = OutputStep.unpack(self.group, pg.payload)
+            data = step_obj.values[var]
+            sel = tuple(
+                slice(o, o + d) for o, d in zip(e.chunk.offsets, data.shape)
+            )
+            out[sel] = data
+            filled[sel] = True
+        if not filled.all():
+            raise BPError(
+                f"global array {var!r} step {step}: "
+                f"{int((~filled).sum())} cells not covered by any chunk"
+            )
+        return out.copy() if copy else out
+
+    def read_region(
+        self,
+        var: str,
+        step: int,
+        lb: tuple[int, ...],
+        ub: tuple[int, ...],
+    ) -> tuple[np.ndarray, int]:
+        """Read a sub-box ``[lb, ub)`` of a global array.
+
+        Returns ``(subarray, extents_touched)`` — the extent count is
+        the number of chunks intersecting the box, i.e. the seeks a
+        reader pays; a VisIt-style subvolume read on an unmerged file
+        touches many chunks even for a small box, which is the other
+        face of Fig. 11's layout argument.
+        """
+        vdef = self.group.var(var)
+        if vdef.kind is not VarKind.GLOBAL_ARRAY:
+            raise BPError(f"{var!r} is not a global array")
+        entries = self.entries(var, step)
+        if not entries:
+            raise BPError(f"no chunks for {var!r} at step {step}")
+        gdims = entries[0].chunk.global_dims
+        lb = tuple(int(v) for v in lb)
+        ub = tuple(int(v) for v in ub)
+        if len(lb) != len(gdims) or len(ub) != len(gdims):
+            raise BPError("selection rank mismatch")
+        for lo, hi, d in zip(lb, ub, gdims):
+            if not 0 <= lo < hi <= d:
+                raise BPError(f"selection {lb}..{ub} outside {gdims}")
+        shape = tuple(hi - lo for lo, hi in zip(lb, ub))
+        out = np.zeros(shape, dtype=np.dtype(vdef.dtype))
+        filled = np.zeros(shape, dtype=bool)
+        extents = 0
+        for e in entries:
+            offs = e.chunk.offsets
+            dims = e.local_dims
+            # chunk box: [offs, offs+dims); intersect with [lb, ub)
+            cut_lo = tuple(max(o, l) for o, l in zip(offs, lb))
+            cut_hi = tuple(
+                min(o + d, u) for o, d, u in zip(offs, dims, ub)
+            )
+            if any(hi <= lo for lo, hi in zip(cut_lo, cut_hi)):
+                continue
+            extents += 1
+            pg = self.pgs[e.pg_index]
+            data = OutputStep.unpack(self.group, pg.payload).values[var]
+            src = tuple(
+                slice(lo - o, hi - o)
+                for lo, hi, o in zip(cut_lo, cut_hi, offs)
+            )
+            dst = tuple(
+                slice(lo - l, hi - l)
+                for lo, hi, l in zip(cut_lo, cut_hi, lb)
+            )
+            out[dst] = data[src]
+            filled[dst] = True
+        if not filled.all():
+            raise BPError(
+                f"selection {lb}..{ub} of {var!r}: "
+                f"{int((~filled).sum())} cells not covered"
+            )
+        return out, extents
+
+    def read_var_chunks(self, var: str, step: int) -> list[tuple[BPIndexEntry, Any]]:
+        """All (entry, value) pairs for *var* at *step*."""
+        out = []
+        for e in self.entries(var, step):
+            pg = self.pgs[e.pg_index]
+            step_obj = OutputStep.unpack(self.group, pg.payload)
+            out.append((e, step_obj.values[var]))
+        return out
+
+    # -- on-disk serialisation ------------------------------------------------
+    _MAGIC = b"BPF1"
+
+    def save(self, path) -> int:
+        """Write real bytes to *path*; returns file size."""
+        header = {
+            "name": self.name,
+            "group": _group_to_dict(self.group),
+            "pgs": [
+                {
+                    "rank": pg.rank,
+                    "step": pg.step,
+                    "nbytes": pg.nbytes,
+                    "logical_nbytes": pg.logical_nbytes,
+                }
+                for pg in self.pgs
+            ],
+            "index": {
+                var: [
+                    {
+                        "step": e.step,
+                        "pg": e.pg_index,
+                        "chunk": (
+                            {
+                                "global_dims": list(e.chunk.global_dims),
+                                "offsets": list(e.chunk.offsets),
+                            }
+                            if e.chunk
+                            else None
+                        ),
+                        "local_dims": list(e.local_dims),
+                    }
+                    for e in entries
+                ]
+                for var, entries in self.index.items()
+            },
+        }
+        hbytes = json.dumps(header, separators=(",", ":")).encode()
+        with open(path, "wb") as f:
+            f.write(self._MAGIC)
+            f.write(struct.pack("<Q", len(hbytes)))
+            f.write(hbytes)
+            for pg in self.pgs:
+                f.write(pg.payload)
+        return 12 + len(hbytes) + sum(pg.nbytes for pg in self.pgs)
+
+    @classmethod
+    def load(cls, path) -> "BPFile":
+        with open(path, "rb") as f:
+            magic = f.read(4)
+            if magic != cls._MAGIC:
+                raise BPError(f"{path}: not a BP file")
+            (hlen,) = struct.unpack("<Q", f.read(8))
+            header = json.loads(f.read(hlen).decode())
+            group = _group_from_dict(header["group"])
+            pgs = []
+            for rec in header["pgs"]:
+                payload = f.read(rec["nbytes"])
+                pgs.append(
+                    ProcessGroup(
+                        rank=rec["rank"],
+                        step=rec["step"],
+                        payload=payload,
+                        logical_nbytes=rec["logical_nbytes"],
+                    )
+                )
+        index = {
+            var: [
+                BPIndexEntry(
+                    var=var,
+                    step=e["step"],
+                    pg_index=e["pg"],
+                    chunk=(
+                        ChunkMeta(
+                            tuple(e["chunk"]["global_dims"]),
+                            tuple(e["chunk"]["offsets"]),
+                        )
+                        if e["chunk"]
+                        else None
+                    ),
+                    local_dims=tuple(e["local_dims"]),
+                )
+                for e in entries
+            ]
+            for var, entries in header["index"].items()
+        }
+        return cls(name=header["name"], group=group, pgs=pgs, index=index)
+
+
+class BPWriter:
+    """Builds a :class:`BPFile` from process-group appends."""
+
+    def __init__(self, name: str, group: GroupDef):
+        self._file = BPFile(name=name, group=group)
+        self._closed = False
+        self._offset = 0
+
+    def append_step(self, step: OutputStep) -> None:
+        """Append one process's output as a PG record + index entries."""
+        if self._closed:
+            raise BPError("writer already closed")
+        payload = step.pack()
+        pg = ProcessGroup(
+            rank=step.rank,
+            step=step.step,
+            payload=payload,
+            file_offset=self._offset,
+            logical_nbytes=step.nbytes_logical,
+        )
+        self._offset += pg.nbytes
+        pg_index = len(self._file.pgs)
+        self._file.pgs.append(pg)
+        for vdef in step.group.vars:
+            val = step.values[vdef.name]
+            local_dims = (
+                tuple(int(s) for s in np.asarray(val).shape)
+                if isinstance(val, np.ndarray)
+                else ()
+            )
+            entry = BPIndexEntry(
+                var=vdef.name,
+                step=step.step,
+                pg_index=pg_index,
+                chunk=step.chunks.get(vdef.name),
+                local_dims=local_dims,
+            )
+            self._file.index.setdefault(vdef.name, []).append(entry)
+
+    def close(self) -> BPFile:
+        """Finalize the index and return the immutable :class:`BPFile`."""
+        self._closed = True
+        return self._file
+
+
+def _group_to_dict(group: GroupDef) -> dict:
+    return {
+        "name": group.name,
+        "vars": [
+            {"name": v.name, "dtype": v.dtype, "kind": v.kind.value, "ndim": v.ndim}
+            for v in group.vars
+        ],
+    }
+
+
+def _group_from_dict(d: dict) -> GroupDef:
+    from repro.adios.group import VarDef  # local import to avoid cycle noise
+
+    return GroupDef(
+        d["name"],
+        tuple(
+            VarDef(v["name"], v["dtype"], VarKind(v["kind"]), v["ndim"])
+            for v in d["vars"]
+        ),
+    )

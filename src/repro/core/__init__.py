@@ -1,0 +1,70 @@
+"""PreDatA middleware — the paper's primary contribution.
+
+The middleware augments the I/O stack with data staging and in-transit
+processing (§III, §IV):
+
+- :mod:`repro.core.operator` — the pluggable operator API
+  (``partial_calculate / aggregate / initialize / map / combine /
+  partition / reduce / finalize`` — Fig. 5's five stream-processing
+  phases plus the compute-node first pass);
+- :mod:`repro.core.client` — the compute-node runtime:
+  ``Partial_calculate`` execution, FFS packing, ``Route()``, data-fetch
+  requests, bounded output buffering, and the
+  :class:`~repro.core.client.StagingTransport` ADIOS method;
+- :mod:`repro.core.scheduler` — scheduled asynchronous data movement
+  (the [2] DataStager heritage): fetches are deferred while the
+  simulation is inside communication phases to cap interference;
+- :mod:`repro.core.staging` — the Staging Area service: request
+  gathering, partial-result aggregation, streaming fetch + Map,
+  MPI-based Shuffle, Reduce, Finalize, with per-step timing reports;
+- :mod:`repro.core.placement` — the In-Compute-Node runner (baseline
+  configuration) and the Offline cost model (§V.B.3);
+- :mod:`repro.core.middleware` — the :class:`~repro.core.middleware.PreDatA`
+  facade assembling all of the above on a :class:`~repro.machine.Machine`.
+"""
+
+from repro.core.operator import (
+    Emit,
+    OperatorContext,
+    PreDatAOperator,
+    StepReport,
+)
+from repro.core.advisor import (
+    OperatorProfile,
+    PlacementAdvisor,
+    PlacementEstimate,
+)
+from repro.core.monitor import Alarm, OnlineMonitor, SteeringFlag
+from repro.core.adaptive import (
+    AdaptivePlacement,
+    PlacementBudget,
+    PlacementDecision,
+)
+from repro.core.client import StagingClient, StagingTransport
+from repro.core.scheduler import MovementScheduler
+from repro.core.staging import StagingService
+from repro.core.placement import InComputeNodeRunner, OfflineCostModel
+from repro.core.middleware import PreDatA
+
+__all__ = [
+    "AdaptivePlacement",
+    "Alarm",
+    "Emit",
+    "PlacementBudget",
+    "PlacementDecision",
+    "InComputeNodeRunner",
+    "OnlineMonitor",
+    "SteeringFlag",
+    "MovementScheduler",
+    "OfflineCostModel",
+    "OperatorContext",
+    "OperatorProfile",
+    "PlacementAdvisor",
+    "PlacementEstimate",
+    "PreDatA",
+    "PreDatAOperator",
+    "StagingClient",
+    "StagingService",
+    "StagingTransport",
+    "StepReport",
+]

@@ -1,0 +1,256 @@
+"""Compute-node side of the PreDatA middleware (§IV.B stages 1a–1c).
+
+When the application triggers I/O, the :class:`StagingClient`:
+
+1. runs each operator's ``Partial_calculate()`` on the local output
+   (stage 1a — deterministic-delay local ops);
+2. packs the output into a contiguous FFS buffer — the *packed partial
+   data chunk* (stage 1b) — holding node memory until the staging area
+   has fetched it;
+3. routes a small *data-fetch request*, with the partial results
+   attached, to the staging process chosen by ``Route()`` (stage 1c);
+4. returns control to the simulation.
+
+The visible write latency is therefore pack time + request latency,
+plus any throttling when the bounded per-node output buffer is still
+occupied by previous steps (back-pressure replaces unbounded memory).
+
+The staging area later pulls the buffer with a scheduled asynchronous
+RDMA get served by :meth:`StagingClient.serve_fetch`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Optional
+
+from repro.adios.group import OutputStep
+from repro.adios.io import IOMethod
+from repro.core.operator import PreDatAOperator
+from repro.core.scheduler import MovementScheduler
+from repro.machine.machine import Machine
+from repro.mpi.communicator import Communicator
+from repro.sim.engine import Engine, Event
+from repro.sim.resources import Mailbox
+
+__all__ = ["FetchRequest", "StagingClient", "StagingTransport", "default_route"]
+
+
+def default_route(compute_rank: int, ncompute: int, nstaging: int) -> int:
+    """Block mapping of compute ranks onto staging processes."""
+    return compute_rank * nstaging // ncompute
+
+
+@dataclass
+class FetchRequest:
+    """The small message sent from a compute process to its staging
+    process when an I/O dump starts (stage 1c)."""
+
+    compute_rank: int
+    compute_node: int
+    step: int
+    logical_nbytes: float
+    partials: dict[str, Any]  # operator name -> partial result
+    t_dump_start: float
+
+
+@dataclass
+class _BufferRecord:
+    payload: bytes
+    logical_nbytes: float
+    freed: Event
+    node_id: int
+
+
+class StagingClient:
+    """Shared compute-node runtime state for one application."""
+
+    def __init__(
+        self,
+        env: Engine,
+        machine: Machine,
+        operators: list[PreDatAOperator],
+        *,
+        ncompute: int,
+        nstaging: int,
+        staging_nodes: list[int],
+        scheduler: Optional[MovementScheduler] = None,
+        route: Optional[Callable[[int, int, int], int]] = None,
+        max_buffered_steps: int = 2,
+        fetch_rate_cap: Optional[float] = None,
+    ):
+        """``fetch_rate_cap`` (bytes/s per staging process) paces the
+        asynchronous RDMA gets: scheduled movement deliberately draws
+        data at a bounded rate to bound interference with the
+        application's communication ([2]'s server-directed pacing).
+        None disables pacing (fetch at full NIC speed)."""
+        if nstaging < 1:
+            raise ValueError("need at least one staging process")
+        self.env = env
+        self.machine = machine
+        self.operators = list(operators)
+        self.ncompute = ncompute
+        self.nstaging = nstaging
+        self.staging_nodes = list(staging_nodes)
+        self.scheduler = scheduler or MovementScheduler(env)
+        self._route = route or default_route
+        self.max_buffered_steps = max_buffered_steps
+        if fetch_rate_cap is not None and fetch_rate_cap <= 0:
+            raise ValueError("fetch_rate_cap must be positive")
+        self.fetch_rate_cap = fetch_rate_cap
+        #: request mailbox per staging rank (cross-world channel)
+        self._request_boxes: dict[int, Mailbox] = {}
+        #: pending packed chunks keyed by (compute_rank, step)
+        self._buffers: dict[tuple[int, int], _BufferRecord] = {}
+        #: completion order per compute rank for back-pressure
+        self._pending: dict[int, list[Event]] = {}
+        self.visible_seconds: dict[int, float] = {}
+        self.partial_calc_seconds: dict[int, float] = {}
+
+    # -- routing ------------------------------------------------------------
+    def route(self, compute_rank: int) -> int:
+        """The validated staging rank serving *compute_rank*."""
+        target = self._route(compute_rank, self.ncompute, self.nstaging)
+        if not 0 <= target < self.nstaging:
+            raise ValueError(
+                f"Route() returned {target} outside staging world of "
+                f"{self.nstaging}"
+            )
+        return target
+
+    def compute_ranks_of(self, staging_rank: int) -> list[int]:
+        """Compute ranks served by *staging_rank* under current routing."""
+        return [
+            r for r in range(self.ncompute) if self.route(r) == staging_rank
+        ]
+
+    def request_box(self, staging_rank: int) -> Mailbox:
+        """The cross-world request mailbox of one staging rank."""
+        box = self._request_boxes.get(staging_rank)
+        if box is None:
+            box = Mailbox(self.env)
+            self._request_boxes[staging_rank] = box
+        return box
+
+    # -- stage 1: the write path ------------------------------------------------
+    def write_step(self, comm: Communicator, step: OutputStep) -> Generator:
+        """Process body: the compute-node side of one I/O dump.
+
+        Returns the visible (blocking) seconds.
+        """
+        env = self.env
+        start = env.now
+        node = self.machine.node(comm.node_id)
+
+        # Back-pressure: at most ``max_buffered_steps`` outstanding
+        # buffers per process.
+        pending = self._pending.setdefault(comm.rank, [])
+        pending[:] = [ev for ev in pending if not ev.triggered]
+        while len(pending) >= self.max_buffered_steps:
+            yield pending[0]
+            pending[:] = [ev for ev in pending if not ev.triggered]
+
+        # Stage 1a: Partial_calculate for each operator.
+        partials: dict[str, Any] = {}
+        t0 = env.now
+        for op in self.operators:
+            flops = op.partial_flops(step)
+            if flops > 0:
+                yield from node.compute(flops)
+            result = op.partial_calculate(step)
+            if result is not None:
+                partials[op.name] = result
+        self.partial_calc_seconds[comm.rank] = (
+            self.partial_calc_seconds.get(comm.rank, 0.0) + env.now - t0
+        )
+
+        # Stage 1b: pack into a contiguous FFS buffer (memcpy-bound).
+        payload = step.pack()
+        pack_time = 2.0 * node.memory_scan_time(step.nbytes_logical)
+        if pack_time > 0:
+            yield env.timeout(pack_time)
+        node.allocate(step.nbytes_logical)
+        freed = env.event()
+        self._buffers[(comm.rank, step.step)] = _BufferRecord(
+            payload=payload,
+            logical_nbytes=step.nbytes_logical,
+            freed=freed,
+            node_id=comm.node_id,
+        )
+        pending.append(freed)
+
+        # Stage 1c: data-fetch request to the routed staging process.
+        target = self.route(comm.rank)
+        request = FetchRequest(
+            compute_rank=comm.rank,
+            compute_node=comm.node_id,
+            step=step.step,
+            logical_nbytes=step.nbytes_logical,
+            partials=partials,
+            t_dump_start=start,
+        )
+        yield from self.machine.network.transfer(
+            comm.node_id, self.staging_nodes[target % len(self.staging_nodes)], 256.0
+        )
+        self.request_box(target).deliver(comm.rank, step.step, request)
+
+        visible = env.now - start
+        self.visible_seconds[comm.rank] = (
+            self.visible_seconds.get(comm.rank, 0.0) + visible
+        )
+        return visible
+
+    def skip_step(self, comm: Communicator, step: int) -> Generator:
+        """Process body: tell the staging area this rank dumps *step*
+        elsewhere (e.g. the adaptive controller chose In-Compute-Node).
+
+        The staging service still matches the step's request round but
+        fetches nothing from this process.
+        """
+        target = self.route(comm.rank)
+        yield from self.machine.network.transfer(
+            comm.node_id, self.staging_nodes[target % len(self.staging_nodes)], 64.0
+        )
+        self.request_box(target).deliver(comm.rank, step, None)
+
+    # -- stage 3: RDMA service ----------------------------------------------------
+    def serve_fetch(
+        self, compute_rank: int, step: int, staging_node: int
+    ) -> Generator:
+        """Process body (staging side): scheduled RDMA get of one chunk.
+
+        Returns the packed payload bytes; frees the compute-node buffer.
+        """
+        key = (compute_rank, step)
+        rec = self._buffers.pop(key, None)
+        if rec is None:
+            raise KeyError(f"no buffered chunk for rank {compute_rank} step {step}")
+        yield from self.scheduler.wait_clear(rec.node_id)
+        wire = self.machine.network.transfer_event(
+            rec.node_id, staging_node, rec.logical_nbytes, rdma=True
+        )
+        if self.fetch_rate_cap is not None:
+            pace = self.env.timeout(rec.logical_nbytes / self.fetch_rate_cap)
+            yield self.env.all_of([wire, pace])
+        else:
+            yield wire
+        self.machine.node(rec.node_id).free(rec.logical_nbytes)
+        rec.freed.succeed()
+        return rec.payload
+
+    @property
+    def outstanding_buffers(self) -> int:
+        return len(self._buffers)
+
+
+class StagingTransport(IOMethod):
+    """ADIOS transport that routes output through the staging area."""
+
+    def __init__(self, client: StagingClient):
+        self.client = client
+        self.visible_write_seconds = 0.0
+
+    def write_step(self, comm: Communicator, step: OutputStep) -> Generator:
+        t = yield from self.client.write_step(comm, step)
+        self.visible_write_seconds += t
+        return t

@@ -1,0 +1,133 @@
+"""The :class:`PreDatA` facade: wiring client, scheduler and service.
+
+Assembles the full Staging configuration on a
+:class:`~repro.machine.Machine`:
+
+- a staging :class:`~repro.mpi.World` (``procs_per_staging_node`` MPI
+  processes per staging node, each with ``threads_per_process`` worker
+  threads — the paper's 2x4 layout);
+- the compute-node :class:`~repro.core.client.StagingClient` and its
+  :class:`~repro.core.client.StagingTransport` (the ADIOS method the
+  application writes through);
+- the :class:`~repro.core.scheduler.MovementScheduler`;
+- the :class:`~repro.core.staging.StagingService` running the
+  Initialize/Map/Shuffle/Reduce/Finalize pipeline.
+
+Typical use::
+
+    predata = PreDatA(env, machine, group, operators,
+                      ncompute_procs=64, nsteps=3, volume_scale=100.0)
+    predata.start()
+    # ... application writes via predata.transport ...
+    yield from predata.drain()
+    report = predata.service.step_report(0)
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.adios.group import GroupDef
+from repro.core.client import StagingClient, StagingTransport
+from repro.core.operator import PreDatAOperator
+from repro.core.scheduler import MovementScheduler
+from repro.core.staging import StagingConfig, StagingService
+from repro.machine.machine import Machine
+from repro.mpi.world import World
+from repro.sim.engine import Engine
+
+__all__ = ["PreDatA"]
+
+
+class PreDatA:
+    """One PreDatA deployment: staging area + compute-side runtime."""
+
+    def __init__(
+        self,
+        env: Engine,
+        machine: Machine,
+        group: GroupDef,
+        operators: list[PreDatAOperator],
+        *,
+        ncompute_procs: int,
+        nsteps: int = 1,
+        procs_per_staging_node: int = 2,
+        threads_per_process: int = 4,
+        volume_scale: float = 1.0,
+        scheduled_movement: bool = True,
+        max_buffered_steps: int = 2,
+        fetch_pipeline_depth: int = 2,
+        fetch_rate_cap: Optional[float] = None,
+        route: Optional[Callable[[int, int, int], int]] = None,
+        model_size: Optional[int] = None,
+        chunk_order: Optional[Callable] = None,
+    ):
+        if machine.n_staging_nodes < 1:
+            raise ValueError("machine has no staging nodes allocated")
+        if ncompute_procs < 1:
+            raise ValueError("need at least one compute process")
+        self.env = env
+        self.machine = machine
+        self.group = group
+        self.operators = list(operators)
+
+        staging_rank_nodes = [
+            node_id
+            for node_id in machine.staging_node_ids
+            for _ in range(procs_per_staging_node)
+        ]
+        self.staging_world = World(
+            env,
+            machine.network,
+            staging_rank_nodes,
+            name="staging",
+            node_lookup=machine.node,
+            wire_scale=volume_scale,
+            model_size=model_size,
+        )
+        self.scheduler = MovementScheduler(env, enabled=scheduled_movement)
+        self.client = StagingClient(
+            env,
+            machine,
+            self.operators,
+            ncompute=ncompute_procs,
+            nstaging=self.staging_world.size,
+            staging_nodes=staging_rank_nodes,
+            scheduler=self.scheduler,
+            route=route,
+            max_buffered_steps=max_buffered_steps,
+            fetch_rate_cap=fetch_rate_cap,
+        )
+        self.transport = StagingTransport(self.client)
+        self.service = StagingService(
+            env,
+            machine,
+            self.staging_world,
+            self.client,
+            group,
+            self.operators,
+            StagingConfig(
+                threads_per_process=threads_per_process,
+                fetch_pipeline_depth=fetch_pipeline_depth,
+                nsteps=nsteps,
+                chunk_order=chunk_order,
+            ),
+        )
+
+    # -- lifecycle ----------------------------------------------------------
+    def start(self) -> None:
+        """Launch the staging-area program (separate 'MPI job')."""
+        self.service.start()
+
+    def drain(self):
+        """Process body: wait for the staging area to finish all steps."""
+        yield from self.service.drain()
+
+    # -- convenience ------------------------------------------------------------
+    @property
+    def nstaging_procs(self) -> int:
+        return self.staging_world.size
+
+    def staging_core_ratio(self) -> float:
+        """Compute cores per staging core actually configured."""
+        return self.machine.staging_ratio()

@@ -1,0 +1,341 @@
+"""The Staging Area service (§IV.C, Fig. 5).
+
+Each staging process runs :meth:`StagingService._service_main` — the
+per-step pipeline:
+
+1. **gather requests** from the compute processes it serves;
+2. **aggregate** (stage 2): partial results attached to the requests
+   are allgathered across the staging world and fed to each operator's
+   ``aggregate()`` — producing global sizes, min/max, sort splitters —
+   before any bulk data moves;
+3. **Initialize** each operator with the aggregated results;
+4. **fetch + Map**: packed partial data chunks are pulled from compute
+   nodes with scheduled RDMA gets and processed *one by one in a
+   streaming manner* — a prefetch pipeline overlaps the next fetch with
+   the current Map, and chunk buffers are freed immediately after Map
+   so staging memory stays bounded;
+5. **Shuffle**: ``Combine()`` locally, then ``Partition()`` routes
+   intermediate results to their reducer rank via the staging world's
+   MPI ``alltoallv`` (the paper's deliberate choice of MPI over a
+   MapReduce master, §IV.C);
+6. **Reduce** groups by tag and folds;
+7. **Finalize** persists results (may perform simulated file-system
+   I/O when the operator's finalize is a generator).
+
+Timing of every phase is recorded in a :class:`StepReport` per staging
+rank; the service exposes per-step maxima, which is what the paper's
+Fig. 7 plots as operation time in the Staging configuration.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass
+from typing import Any, Hashable, Optional
+
+from repro.adios.group import GroupDef, OutputStep
+from repro.core.client import FetchRequest, StagingClient
+from repro.core.operator import Emit, OperatorContext, PreDatAOperator, StepReport
+from repro.machine.machine import Machine
+from repro.mpi.communicator import Communicator
+from repro.mpi.world import World
+from repro.sim.engine import Engine
+from repro.sim.resources import Resource, Store
+
+__all__ = ["StagingConfig", "StagingService"]
+
+
+@dataclass(frozen=True)
+class StagingConfig:
+    """Staging-area runtime knobs (§V.B: 2 procs/node, 4 threads).
+
+    ``chunk_order`` customises the stream order (§IV.C: "Users can
+    also ... place the data chunks present within the data stream into
+    some desired order to ease implementing such data analysis
+    services"): a callable receiving the step's fetch requests (each
+    carrying the attached partial results) and returning them in the
+    order the pipeline should fetch and Map them.  Default: by
+    compute rank.
+    """
+
+    threads_per_process: int = 4
+    fetch_pipeline_depth: int = 2
+    nsteps: int = 1
+    chunk_order: Optional[Any] = None
+
+    def __post_init__(self) -> None:
+        if self.threads_per_process < 1:
+            raise ValueError("need >= 1 worker thread")
+        if self.fetch_pipeline_depth < 1:
+            raise ValueError("pipeline depth must be >= 1")
+        if self.nsteps < 1:
+            raise ValueError("nsteps must be >= 1")
+        if self.chunk_order is not None and not callable(self.chunk_order):
+            raise ValueError("chunk_order must be callable")
+
+
+class StagingService:
+    """The staging-area MPI program."""
+
+    def __init__(
+        self,
+        env: Engine,
+        machine: Machine,
+        world: World,
+        client: StagingClient,
+        group: GroupDef,
+        operators: list[PreDatAOperator],
+        config: Optional[StagingConfig] = None,
+    ):
+        self.env = env
+        self.machine = machine
+        self.world = world
+        self.client = client
+        self.group = group
+        self.operators = list(operators)
+        names = [op.name for op in self.operators]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate operator names: {names}")
+        self.config = config or StagingConfig()
+        #: per step -> per staging rank -> StepReport
+        self.rank_reports: dict[int, dict[int, StepReport]] = {}
+        #: operator name -> step -> rank -> finalize() return value
+        self.results: dict[str, dict[int, dict[int, Any]]] = {
+            op.name: {} for op in self.operators
+        }
+        self._procs: list = []
+        #: callbacks fired as each staging rank finishes a step
+        self._step_listeners: list = []
+
+    def add_step_listener(self, callback) -> None:
+        """Register ``callback(step, rank)`` fired per rank completion
+        (the hook online monitors subscribe to)."""
+        self._step_listeners.append(callback)
+
+    # -- lifecycle --------------------------------------------------------
+    def start(self) -> None:
+        """Spawn the service loop on every staging rank."""
+        self._procs = self.world.spawn(self._service_main)
+
+    def drain(self):
+        """Process body: wait until every staging rank finished all steps."""
+        if not self._procs:
+            raise RuntimeError("drain() before start()")
+        yield self.env.all_of(self._procs)
+
+    # -- aggregated views -----------------------------------------------------
+    def step_report(self, step: int) -> StepReport:
+        """Cross-rank maximum view of one step (what Fig. 7 plots)."""
+        per_rank = self.rank_reports.get(step)
+        if not per_rank:
+            raise KeyError(f"no reports for step {step}")
+        merged = StepReport(step=step)
+        merged.t_dump_start = min(r.t_dump_start for r in per_rank.values())
+        for name in (
+            "gather_requests",
+            "aggregate",
+            "fetch",
+            "map",
+            "shuffle",
+            "reduce",
+            "finalize",
+            "latency",
+            "peak_buffer_bytes",
+        ):
+            setattr(merged, name, max(getattr(r, name) for r in per_rank.values()))
+        merged.bytes_fetched = sum(r.bytes_fetched for r in per_rank.values())
+        merged.bytes_shuffled = sum(r.bytes_shuffled for r in per_rank.values())
+        return merged
+
+    def result(self, op_name: str, step: int = 0, rank: int = 0) -> Any:
+        """One operator's finalize() result for (step, staging rank)."""
+        return self.results[op_name][step][rank]
+
+    # -- the service loop ---------------------------------------------------------
+    def _service_main(self, comm: Communicator):
+        for step in range(self.config.nsteps):
+            yield from self._run_step(comm, step)
+
+    def _run_step(self, comm: Communicator, step: int):
+        env = self.env
+        node = comm.node
+        threads = self.config.threads_per_process
+        report = StepReport(step=step)
+        my_computes = self.client.compute_ranks_of(comm.rank)
+
+        # -- 1. gather data-fetch requests --------------------------------
+        # (timed from the first request's arrival: the wait for the
+        # application to reach its dump is idle time, not pipeline cost)
+        box = self.client.request_box(comm.rank)
+        requests: list[FetchRequest] = []
+        t_first = None
+        for _ in my_computes:
+            _src, _tag, req = yield box.receive(tag=step)
+            if t_first is None:
+                t_first = env.now
+            if req is not None:  # None = skip notice (adaptive placement)
+                requests.append(req)
+        if self.config.chunk_order is not None:
+            requests = list(self.config.chunk_order(requests))
+        else:
+            requests.sort(key=lambda r: r.compute_rank)
+        report.gather_requests = env.now - t_first if t_first is not None else 0.0
+        report.t_dump_start = (
+            min(r.t_dump_start for r in requests) if requests else env.now
+        )
+        volume_scale = 1.0
+
+        # -- 2. aggregate partial results ----------------------------------
+        t0 = env.now
+        local = {
+            op.name: [
+                r.partials[op.name] for r in requests if op.name in r.partials
+            ]
+            for op in self.operators
+        }
+        # partial results are fixed-size summaries (samples, min/max,
+        # geometry): no logical-volume inflation applies
+        gathered = yield from comm.allgather(
+            {"n": len(requests), "partials": local}, wire_scale=1.0
+        )
+        aggregated: dict[str, Any] = {}
+        for op in self.operators:
+            flat = [
+                p for d in gathered for p in d["partials"].get(op.name, [])
+            ]
+            aggregated[op.name] = op.aggregate(flat) if flat else None
+        report.aggregate = env.now - t0
+
+        # A fully-skipped step (every compute process dumped elsewhere)
+        # runs no operator phases — agreed globally via the allgather
+        # so every staging rank stays in collective lockstep.
+        if sum(d["n"] for d in gathered) == 0:
+            report.latency = env.now - report.t_dump_start
+            self.rank_reports.setdefault(step, {})[comm.rank] = report
+            for listener in self._step_listeners:
+                listener(step, comm.rank)
+            return
+
+        # -- 3. initialize ---------------------------------------------------
+        ctxs: dict[str, OperatorContext] = {}
+        for op in self.operators:
+            ctx = OperatorContext(
+                rank=comm.rank,
+                nworkers=comm.size,
+                step=step,
+                aggregated=aggregated[op.name],
+                threads=threads,
+                placement="staging",
+            )
+            ctxs[op.name] = ctx
+            op.initialize(ctx)
+
+        # -- 4. fetch + Map streaming pipeline --------------------------------
+        # ``fetch_pipeline_depth`` bounds in-flight chunks *including*
+        # the one being mapped: a slot is taken before the fetch and
+        # released only after Map frees the chunk, so depth 1 strictly
+        # serialises fetch and Map while depth k overlaps k-1 fetches.
+        emits: dict[str, list[Emit]] = {op.name: [] for op in self.operators}
+        chunk_store = Store(env)
+        slots = Resource(env, self.config.fetch_pipeline_depth)
+        fetch_clock = {"busy": 0.0}
+
+        def fetcher():
+            for req in requests:
+                grant = slots.request()
+                yield grant
+                t_f = env.now
+                payload = yield from self.client.serve_fetch(
+                    req.compute_rank, step, comm.node_id
+                )
+                fetch_clock["busy"] += env.now - t_f
+                if node is not None:
+                    node.allocate(req.logical_nbytes)
+                yield chunk_store.put((req, payload))
+
+        fproc = env.process(fetcher(), name=f"fetch[{comm.rank}]s{step}")
+        t_stream0 = env.now
+        map_busy = 0.0
+        for _ in requests:
+            req, payload = yield chunk_store.get()
+            report.bytes_fetched += req.logical_nbytes
+            step_obj = OutputStep.unpack(self.group, payload)
+            volume_scale = step_obj.volume_scale
+            for ctx in ctxs.values():
+                ctx.volume_scale = volume_scale
+            # unpack touches the whole chunk once
+            t_m = env.now
+            if node is not None:
+                yield env.timeout(node.memory_scan_time(req.logical_nbytes))
+            for op in self.operators:
+                flops = op.map_flops(step_obj)
+                if flops > 0 and node is not None:
+                    yield from node.compute(flops, cores=threads)
+                emits[op.name].extend(op.map(ctxs[op.name], step_obj))
+            map_busy += env.now - t_m
+            if node is not None:
+                node.free(req.logical_nbytes)
+                report.peak_buffer_bytes = max(
+                    report.peak_buffer_bytes, node.memory_high_water
+                )
+            slots.release()
+        yield fproc  # ensure fetcher wound down
+        stream_total = env.now - t_stream0
+        report.map = map_busy
+        report.fetch = max(stream_total - map_busy, fetch_clock["busy"] - map_busy, 0.0)
+
+        # -- 5. shuffle ----------------------------------------------------------
+        for op in self.operators:
+            ctx = ctxs[op.name]
+            t0 = env.now
+            items = op.combine(ctx, emits[op.name])
+            cflops = op.combine_flops(ctx, items)
+            if cflops > 0 and node is not None:
+                yield from node.compute(cflops, cores=threads)
+            outbound: list[list[Emit]] = [[] for _ in range(comm.size)]
+            for e in items:
+                dest = op.partition(ctx, e.tag) % comm.size
+                outbound[dest].append(e)
+            # Reduction-type operators shuffle fixed-size summaries; the
+            # wire inflation only applies to the data fraction that
+            # really crosses the shuffle at full scale.
+            eff_scale = 1.0 + (volume_scale - 1.0) * op.logical_fraction_shuffled()
+            inbound_rows = yield from comm.alltoall(
+                outbound, wire_scale=eff_scale
+            )
+            inbound = [e for row in inbound_rows for e in row]
+            report.bytes_shuffled += (
+                sum(e.nbytes for row in outbound for e in row) * eff_scale
+            )
+            report.shuffle += env.now - t0
+
+            # -- 6. reduce ------------------------------------------------------
+            t0 = env.now
+            groups: dict[Hashable, list[Any]] = {}
+            for e in inbound:
+                groups.setdefault(e.tag, []).append(e.value)
+            reduced: dict[Hashable, Any] = {}
+            for tag, values in groups.items():
+                rflops = op.reduce_flops(ctx, tag, values)
+                if rflops > 0 and node is not None:
+                    yield from node.compute(rflops, cores=threads)
+                rmem = op.reduce_membytes(ctx, tag, values)
+                if rmem > 0 and node is not None:
+                    yield env.timeout(node.memory_scan_time(rmem))
+                out = op.reduce(ctx, tag, values)
+                if out is not None:
+                    reduced[tag] = out
+            report.reduce += env.now - t0
+
+            # -- 7. finalize -------------------------------------------------------
+            t0 = env.now
+            res = op.finalize(ctx, reduced)
+            if inspect.isgenerator(res):
+                res = yield from res
+            self.results[op.name].setdefault(step, {})[comm.rank] = res
+            report.finalize += env.now - t0
+
+        report.latency = env.now - report.t_dump_start
+        self.rank_reports.setdefault(step, {})[comm.rank] = report
+        for listener in self._step_listeners:
+            listener(step, comm.rank)

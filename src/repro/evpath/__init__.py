@@ -1,0 +1,26 @@
+"""EVPath-style event-path middleware (§IV: the staging area's
+buffering/manipulation substrate).
+
+The paper builds PreDatA's staging internals on EVPath [17], an event
+system in which *stones* — small processing elements — are composed
+into dataflow graphs: events submitted at a source stone flow through
+filters, transforms, splits and routers to terminal handlers, possibly
+crossing nodes through bridge stones.
+
+This package provides that substrate on the simulation engine:
+
+- :class:`~repro.evpath.graph.EventGraph` builds stone graphs;
+- terminal / filter / transform / split / router stones process events
+  inline (with optional per-event simulated cost);
+- queue stones decouple submitters from downstream work through a
+  bounded buffer drained by a worker process (back-pressure included);
+- bridge stones move events between machine nodes, charging the
+  network model for the event's wire size.
+
+It is exercised directly by tests and available for building custom
+staging pipelines beyond the Map/Reduce skeleton.
+"""
+
+from repro.evpath.graph import EventGraph, Stone
+
+__all__ = ["EventGraph", "Stone"]

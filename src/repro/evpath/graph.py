@@ -1,0 +1,238 @@
+"""Stone graphs: composable event dataflow on the simulation engine.
+
+Submission is a process body: ``yield from graph.submit(stone, event)``
+walks the graph depth-first, yielding for any simulated costs (handler
+work, bridge transfers) and blocking on full queue stones — which is
+how back-pressure propagates to the submitter, exactly the property
+PreDatA's bounded staging buffers rely on.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Generator, Optional, Sequence
+
+from repro.machine.network import Network
+from repro.mpi.datasize import nbytes_of
+from repro.sim.engine import Engine
+from repro.sim.resources import Store
+
+__all__ = ["Stone", "EventGraph"]
+
+
+class Stone:
+    """One processing element of an event graph."""
+
+    def __init__(self, graph: "EventGraph", kind: str, stone_id: int):
+        self.graph = graph
+        self.kind = kind
+        self.id = stone_id
+        self.events_in = 0
+        self.events_out = 0
+
+    def _deliver(self, event: Any) -> Generator:  # pragma: no cover
+        raise NotImplementedError
+        yield
+
+    def __repr__(self) -> str:
+        return f"Stone(id={self.id}, kind={self.kind!r})"
+
+
+class _Terminal(Stone):
+    def __init__(self, graph, stone_id, handler, cost_seconds):
+        super().__init__(graph, "terminal", stone_id)
+        self.handler = handler
+        self.cost_seconds = cost_seconds
+
+    def _deliver(self, event):
+        self.events_in += 1
+        if self.cost_seconds:
+            yield self.graph.env.timeout(self.cost_seconds(event))
+        self.handler(event)
+
+
+class _Filter(Stone):
+    def __init__(self, graph, stone_id, predicate, target):
+        super().__init__(graph, "filter", stone_id)
+        self.predicate = predicate
+        self.target = target
+
+    def _deliver(self, event):
+        self.events_in += 1
+        if self.predicate(event):
+            self.events_out += 1
+            yield from self.target._deliver(event)
+
+
+class _Transform(Stone):
+    def __init__(self, graph, stone_id, fn, target):
+        super().__init__(graph, "transform", stone_id)
+        self.fn = fn
+        self.target = target
+
+    def _deliver(self, event):
+        self.events_in += 1
+        out = self.fn(event)
+        if out is not None:
+            self.events_out += 1
+            yield from self.target._deliver(out)
+
+
+class _Split(Stone):
+    def __init__(self, graph, stone_id, targets):
+        super().__init__(graph, "split", stone_id)
+        self.targets = list(targets)
+
+    def _deliver(self, event):
+        self.events_in += 1
+        self.events_out += len(self.targets)
+        for t in self.targets:
+            yield from t._deliver(event)
+
+
+class _Router(Stone):
+    def __init__(self, graph, stone_id, route_fn, targets):
+        super().__init__(graph, "router", stone_id)
+        self.route_fn = route_fn
+        self.targets = list(targets)
+
+    def _deliver(self, event):
+        self.events_in += 1
+        idx = self.route_fn(event)
+        if idx is None:
+            return
+        self.events_out += 1
+        yield from self.targets[idx % len(self.targets)]._deliver(event)
+
+
+class _Queue(Stone):
+    """Bounded buffer + worker: decouples submitter from downstream."""
+
+    def __init__(self, graph, stone_id, target, capacity):
+        super().__init__(graph, "queue", stone_id)
+        self.target = target
+        self.store = Store(graph.env, capacity=capacity)
+        self._worker = graph.env.process(
+            self._drain(), name=f"evpath-queue[{stone_id}]"
+        )
+
+    def _drain(self):
+        while True:
+            event = yield self.store.get()
+            if event is _STOP:
+                return
+            self.events_out += 1
+            yield from self.target._deliver(event)
+
+    def _deliver(self, event):
+        self.events_in += 1
+        yield self.store.put(event)  # blocks when the queue is full
+
+    def close(self) -> None:
+        """Stop the worker once the queue drains."""
+        self.store.put(_STOP)
+
+    @property
+    def depth(self) -> int:
+        return len(self.store)
+
+
+class _Bridge(Stone):
+    """Cross-node hop: charges the network for the event's size."""
+
+    def __init__(self, graph, stone_id, src_node, dst_node, network, target,
+                 wire_scale):
+        super().__init__(graph, "bridge", stone_id)
+        self.src_node = src_node
+        self.dst_node = dst_node
+        self.network = network
+        self.target = target
+        self.wire_scale = wire_scale
+        self.bytes_moved = 0.0
+
+    def _deliver(self, event):
+        self.events_in += 1
+        nbytes = nbytes_of(event) * self.wire_scale
+        yield from self.network.transfer(self.src_node, self.dst_node, nbytes)
+        self.bytes_moved += nbytes
+        self.events_out += 1
+        yield from self.target._deliver(event)
+
+
+_STOP = object()
+
+
+class EventGraph:
+    """Factory/owner of a stone dataflow graph."""
+
+    def __init__(self, env: Engine):
+        self.env = env
+        self._ids = itertools.count()
+        self.stones: list[Stone] = []
+
+    def _add(self, stone: Stone) -> Stone:
+        self.stones.append(stone)
+        return stone
+
+    # -- constructors -----------------------------------------------------
+    def terminal(
+        self,
+        handler: Callable[[Any], None],
+        cost_seconds: Optional[Callable[[Any], float]] = None,
+    ) -> Stone:
+        """Sink stone: invokes *handler* per event (after optional cost)."""
+        return self._add(
+            _Terminal(self, next(self._ids), handler, cost_seconds)
+        )
+
+    def filter(self, predicate: Callable[[Any], bool], target: Stone) -> Stone:
+        """Pass events satisfying *predicate* to *target*."""
+        return self._add(_Filter(self, next(self._ids), predicate, target))
+
+    def transform(self, fn: Callable[[Any], Any], target: Stone) -> Stone:
+        """Map events through *fn*; None results are dropped."""
+        return self._add(_Transform(self, next(self._ids), fn, target))
+
+    def split(self, targets: Sequence[Stone]) -> Stone:
+        """Fan each event out to every target."""
+        if not targets:
+            raise ValueError("split needs at least one target")
+        return self._add(_Split(self, next(self._ids), targets))
+
+    def router(
+        self,
+        route_fn: Callable[[Any], Optional[int]],
+        targets: Sequence[Stone],
+    ) -> Stone:
+        """Send each event to ``targets[route_fn(event)]`` (None drops)."""
+        if not targets:
+            raise ValueError("router needs at least one target")
+        return self._add(_Router(self, next(self._ids), route_fn, targets))
+
+    def queue(self, target: Stone, capacity: int = 16) -> "_Queue":
+        """Bounded asynchronous buffer in front of *target*."""
+        if capacity < 1:
+            raise ValueError("queue capacity must be >= 1")
+        return self._add(_Queue(self, next(self._ids), target, capacity))
+
+    def bridge(
+        self,
+        src_node: int,
+        dst_node: int,
+        network: Network,
+        target: Stone,
+        *,
+        wire_scale: float = 1.0,
+    ) -> Stone:
+        """Cross-node hop charging the interconnect model."""
+        if wire_scale <= 0:
+            raise ValueError("wire_scale must be positive")
+        return self._add(
+            _Bridge(self, next(self._ids), src_node, dst_node, network,
+                    target, wire_scale)
+        )
+
+    # -- submission ----------------------------------------------------------
+    def submit(self, stone: Stone, event: Any) -> Generator:
+        """Process body: push *event* into the graph at *stone*."""
+        yield from stone._deliver(event)

@@ -1,0 +1,71 @@
+"""Regenerate every table/figure of the paper's evaluation in one run.
+
+Usage::
+
+    python -m repro.experiments.run_all          # full scales
+    python -m repro.experiments.run_all --fast   # trimmed runs
+
+Prints the Fig. 7/8/9/10/11 series and the headline paper-vs-measured
+table; this output is the source of EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import fig7, fig8, fig9, fig10, fig11, headline
+
+__all__ = ["run_all"]
+
+
+def run_all(fast: bool = False, out=sys.stdout) -> None:
+    """Run every figure experiment and the headline table in sequence."""
+    t_start = time.time()
+
+    def banner(name: str) -> None:
+        print(f"\n{'=' * 72}\n{name}\n{'=' * 72}", file=out)
+
+    gtc_scales = [512, 1024, 2048, 4096, 8192, 16384]
+    fig7_kw = dict(ndumps=1, iterations_per_dump=2,
+                   compute_seconds_per_iteration=10.0) if fast else {}
+    fig8_kw = dict(ndumps=1, iterations_per_dump=4,
+                   compute_seconds_per_iteration=27.0) if fast else {}
+    if fast:
+        gtc_scales = [512, 2048, 16384]
+
+    banner("Fig. 7 — individual operations, In-Compute-Node vs Staging")
+    fig7.main(scales=gtc_scales, **fig7_kw)
+
+    banner("Fig. 8 — GTC simulation performance")
+    fig8.main(scales=gtc_scales, **fig8_kw)
+
+    banner("Fig. 9 — DataSpaces setup / hashing / query time")
+    fig9.main([32, 64, 128, 256])
+
+    banner("Fig. 10 — Pixie3D simulation performance")
+    pixie_scales = [256, 1024, 4096] if fast else [256, 512, 1024, 2048, 4096]
+    fig10.main(scales=pixie_scales)
+
+    banner("Fig. 11 — merged vs unmerged read performance")
+    fig11.main(rep_cores=256)
+
+    banner("Headline §V numbers — paper vs measured")
+    headline.main(fast=fast)
+
+    print(f"\n[run_all completed in {time.time() - t_start:.1f} s wall]",
+          file=out)
+
+
+def main() -> None:
+    """CLI entry: parse --fast and run the full sweep."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--fast", action="store_true",
+                        help="trimmed runs (shorter simulated intervals)")
+    args = parser.parse_args()
+    run_all(fast=args.fast)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,157 @@
+"""Binary encode/decode of schema'd records.
+
+Wire layout of a packed buffer::
+
+    bytes 0..3    magic b"FFS1"
+    bytes 4..7    header length H (little-endian uint32)
+    bytes 8..8+H  header: UTF-8 JSON
+                  {"schema": {...}, "shapes": {field: [..]},
+                   "attrs": {...}}
+    then          per-array-field payload, in schema order, each
+                  aligned to 8 bytes from the start of the payload
+                  section; scalars live in the header ("scalars").
+
+Decoding is zero-copy for arrays (``np.frombuffer`` views over the
+original buffer); callers that need writable arrays copy explicitly.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.ffs.schema import Schema, SchemaError
+
+__all__ = ["encode", "decode", "peek"]
+
+MAGIC = b"FFS1"
+_ALIGN = 8
+
+
+def _align(n: int) -> int:
+    return (n + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+def encode(
+    schema: Schema, values: dict, attrs: Optional[dict] = None
+) -> bytes:
+    """Pack *values* (field name -> scalar / ndarray) into one buffer.
+
+    ``attrs`` is a small JSON-serialisable metadata dict carried in the
+    header — PreDatA uses it for things like the producing rank, the
+    I/O step number, and global-array offsets.
+    """
+    schema.validate(values)
+    shapes: dict[str, list[int]] = {}
+    scalars: dict[str, Any] = {}
+    arrays: list[tuple[str, np.ndarray]] = []
+    for f in schema.fields:
+        v = values[f.name]
+        if f.is_scalar:
+            arr = np.asarray(v, dtype=np.dtype(f.dtype))
+            if arr.shape != ():
+                raise SchemaError(f"field {f.name!r} expects a scalar")
+            scalars[f.name] = arr.item()
+        else:
+            arr = np.ascontiguousarray(v, dtype=np.dtype(f.dtype))
+            shapes[f.name] = list(f.resolve_shape(arr))
+            arrays.append((f.name, arr))
+    header = {
+        "schema": schema.to_dict(),
+        "shapes": shapes,
+        "scalars": _jsonify_scalars(scalars),
+        "attrs": attrs or {},
+    }
+    hbytes = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    offset = 0
+    placements = []
+    for name, arr in arrays:
+        offset = _align(offset)
+        placements.append(offset)
+        offset += arr.nbytes
+    out = bytearray(8 + len(hbytes) + _align(offset))
+    out[0:4] = MAGIC
+    out[4:8] = np.uint32(len(hbytes)).tobytes()
+    out[8 : 8 + len(hbytes)] = hbytes
+    payload_base = 8 + len(hbytes)
+    for (name, arr), pos in zip(arrays, placements):
+        start = payload_base + pos
+        out[start : start + arr.nbytes] = arr.tobytes()
+    return bytes(out)
+
+
+def _jsonify_scalars(scalars: dict) -> dict:
+    """JSON-safe scalar representation (complex -> [re, im])."""
+    out = {}
+    for k, v in scalars.items():
+        if isinstance(v, complex):
+            out[k] = {"__complex__": [v.real, v.imag]}
+        elif isinstance(v, float) and not np.isfinite(v):
+            out[k] = {"__float__": repr(v)}
+        else:
+            out[k] = v
+    return out
+
+
+def _unjsonify_scalar(v: Any) -> Any:
+    if isinstance(v, dict):
+        if "__complex__" in v:
+            re, im = v["__complex__"]
+            return complex(re, im)
+        if "__float__" in v:
+            return float(v["__float__"])
+    return v
+
+
+def _parse_header(buf: bytes) -> tuple[dict, int]:
+    if len(buf) < 8 or bytes(buf[0:4]) != MAGIC:
+        raise SchemaError("not an FFS buffer (bad magic)")
+    hlen = int(np.frombuffer(buf, dtype=np.uint32, count=1, offset=4)[0])
+    if 8 + hlen > len(buf):
+        raise SchemaError("truncated FFS buffer header")
+    header = json.loads(bytes(buf[8 : 8 + hlen]).decode("utf-8"))
+    return header, 8 + hlen
+
+
+def peek(buf: bytes) -> dict:
+    """Return metadata (schema dict, shapes, scalars, attrs) only.
+
+    Does not touch the array payload — O(header) work regardless of
+    chunk size, which is what lets staging nodes route and schedule
+    chunks before paying to process them.
+    """
+    header, _ = _parse_header(buf)
+    header = dict(header)
+    header["scalars"] = {
+        k: _unjsonify_scalar(v) for k, v in header.get("scalars", {}).items()
+    }
+    return header
+
+
+def decode(buf: bytes) -> tuple[Schema, dict, dict]:
+    """Unpack an FFS buffer.
+
+    Returns ``(schema, values, attrs)``.  Array values are read-only
+    views into *buf* (zero copy).
+    """
+    header, payload_base = _parse_header(buf)
+    schema = Schema.from_dict(header["schema"])
+    shapes = header["shapes"]
+    values: dict[str, Any] = {
+        k: _unjsonify_scalar(v) for k, v in header.get("scalars", {}).items()
+    }
+    offset = 0
+    for f in schema.fields:
+        if f.is_scalar:
+            continue
+        shape = tuple(shapes[f.name])
+        dt = np.dtype(f.dtype)
+        count = int(np.prod(shape)) if shape else 1
+        offset = _align(offset)
+        start = payload_base + offset
+        arr = np.frombuffer(buf, dtype=dt, count=count, offset=start)
+        values[f.name] = arr.reshape(shape)
+        offset += count * dt.itemsize
+    return schema, values, header.get("attrs", {})

@@ -1,0 +1,107 @@
+"""The :class:`Machine` facade: nodes + network + file system on one engine.
+
+A ``Machine`` carves its node ids into a *compute partition* and a
+*staging partition* (the PreDatA Staging Area, §II.C).  Staging nodes
+are placed at the tail of the id range, mirroring a dedicated service
+allocation on the real machine.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sim.engine import Engine
+from repro.machine.filesystem import ParallelFileSystem
+from repro.machine.network import Network
+from repro.machine.node import Node
+from repro.machine.presets import JAGUAR_XT5, MachineSpec
+from repro.machine.topology import TorusTopology
+
+__all__ = ["Machine"]
+
+
+class Machine:
+    """A simulated HEC platform instance.
+
+    Parameters
+    ----------
+    env: simulation engine everything runs on.
+    n_compute_nodes: nodes allocated to the simulation job.
+    n_staging_nodes: nodes allocated to the PreDatA Staging Area.
+    spec: hardware parameter preset (default: Jaguar XT5).
+    fs_interference: enable file-system variability (shared machine).
+    """
+
+    def __init__(
+        self,
+        env: Engine,
+        n_compute_nodes: int,
+        n_staging_nodes: int = 0,
+        spec: Optional[MachineSpec] = None,
+        *,
+        fs_interference: bool = True,
+    ):
+        if n_compute_nodes < 1:
+            raise ValueError("need at least one compute node")
+        if n_staging_nodes < 0:
+            raise ValueError("staging node count must be non-negative")
+        self.env = env
+        self.spec = spec or JAGUAR_XT5
+        total = n_compute_nodes + n_staging_nodes
+        if total > self.spec.max_nodes:
+            raise ValueError(
+                f"{total} nodes requested but {self.spec.name} has only "
+                f"{self.spec.max_nodes}"
+            )
+        self.n_compute_nodes = n_compute_nodes
+        self.n_staging_nodes = n_staging_nodes
+        self.topology = TorusTopology(total)
+        self.network = Network(env, self.topology, self.spec.network)
+        self.filesystem = ParallelFileSystem(
+            env, self.spec.filesystem, interference=fs_interference
+        )
+        self._nodes: dict[int, Node] = {}
+
+    # -- partitions ---------------------------------------------------------
+    @property
+    def compute_node_ids(self) -> range:
+        return range(0, self.n_compute_nodes)
+
+    @property
+    def staging_node_ids(self) -> range:
+        return range(
+            self.n_compute_nodes, self.n_compute_nodes + self.n_staging_nodes
+        )
+
+    def node(self, node_id: int) -> Node:
+        """Lazily materialised :class:`Node` for *node_id*."""
+        entry = self._nodes.get(node_id)
+        if entry is None:
+            total = self.n_compute_nodes + self.n_staging_nodes
+            if not 0 <= node_id < total:
+                raise IndexError(f"node {node_id} outside allocation of {total}")
+            role = "staging" if node_id >= self.n_compute_nodes else "compute"
+            entry = Node(self.env, node_id, self.spec.node, role)
+            self._nodes[node_id] = entry
+        return entry
+
+    # -- convenience ----------------------------------------------------------
+    @property
+    def compute_cores(self) -> int:
+        return self.n_compute_nodes * self.spec.node.cores
+
+    @property
+    def staging_cores(self) -> int:
+        return self.n_staging_nodes * self.spec.node.cores
+
+    def staging_ratio(self) -> float:
+        """Compute-to-staging core ratio (paper uses 64:1 and 128:1)."""
+        if self.staging_cores == 0:
+            return float("inf")
+        return self.compute_cores / self.staging_cores
+
+    def __repr__(self) -> str:
+        return (
+            f"Machine(spec={self.spec.name}, compute={self.n_compute_nodes}, "
+            f"staging={self.n_staging_nodes})"
+        )

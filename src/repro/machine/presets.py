@@ -1,0 +1,105 @@
+"""Machine parameter presets calibrated to the paper's platforms (§V.A).
+
+``JAGUAR_XT5`` — 18,688 nodes, 2x quad-core Opteron 2356 (Barcelona)
+@ 2.3 GHz, 16 GB/node, SeaStar 2+; GTC experiments ran here.
+
+``JAGUAR_XT4`` — 7,832 nodes, quad-core Opteron 1354 (Budapest)
+@ 2.1 GHz, 8 GB/node, SeaStar2; Pixie3D experiments ran here.
+
+``TESTING_TINY`` — a fast small preset for unit tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.machine.filesystem import FileSystemConfig
+from repro.machine.network import NetworkConfig
+from repro.machine.node import NodeConfig
+
+__all__ = ["MachineSpec", "JAGUAR_XT5", "JAGUAR_XT4", "TESTING_TINY"]
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """A named bundle of node/network/file-system parameters."""
+
+    name: str
+    max_nodes: int
+    node: NodeConfig
+    network: NetworkConfig
+    filesystem: FileSystemConfig
+
+    def scaled(self, **overrides) -> "MachineSpec":
+        """Return a copy with selected fields replaced."""
+        return replace(self, **overrides)
+
+
+JAGUAR_XT5 = MachineSpec(
+    name="jaguar-xt5",
+    max_nodes=18_688,
+    node=NodeConfig(
+        cores=8,
+        core_flops=9.2e9,  # 2.3 GHz Barcelona, 4 flops/cycle
+        memory_bytes=16 * 2**30,
+        memory_bandwidth=12.8e9,
+    ),
+    network=NetworkConfig(
+        link_bandwidth=6.4e9,
+        latency=5e-6,
+        hop_latency=5e-8,
+        bisection_bandwidth_per_link=4.8e9,
+    ),
+    filesystem=FileSystemConfig(
+        aggregate_bandwidth=40e9,
+        client_bandwidth=1.2e9,
+        n_osts=672,
+    ),
+)
+
+JAGUAR_XT4 = MachineSpec(
+    name="jaguar-xt4",
+    max_nodes=7_832,
+    node=NodeConfig(
+        cores=4,
+        core_flops=8.4e9,  # 2.1 GHz Budapest
+        memory_bytes=8 * 2**30,
+        memory_bandwidth=10.6e9,
+    ),
+    network=NetworkConfig(
+        link_bandwidth=4.0e9,
+        latency=6e-6,
+        hop_latency=6e-8,
+        bisection_bandwidth_per_link=3.2e9,
+    ),
+    filesystem=FileSystemConfig(
+        aggregate_bandwidth=15e9,
+        client_bandwidth=0.8e9,
+        n_osts=144,
+        # small scattered chunk reads pay a full seek + RPC round each
+        extent_overhead=0.0025,
+    ),
+)
+
+TESTING_TINY = MachineSpec(
+    name="testing-tiny",
+    max_nodes=64,
+    node=NodeConfig(
+        cores=2,
+        core_flops=1e9,
+        memory_bytes=1 * 2**30,
+        memory_bandwidth=4e9,
+    ),
+    network=NetworkConfig(
+        link_bandwidth=1e9,
+        latency=1e-5,
+        hop_latency=1e-7,
+        bisection_bandwidth_per_link=0.8e9,
+    ),
+    filesystem=FileSystemConfig(
+        aggregate_bandwidth=2e9,
+        client_bandwidth=0.5e9,
+        n_osts=8,
+        stripe_count=2,
+    ),
+)

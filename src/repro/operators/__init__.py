@@ -1,0 +1,40 @@
+"""Built-in PreDatA operators (§V: the evaluated operations).
+
+- :mod:`repro.operators.minmax` — local/global min-max characterisation
+  (the canonical ``Partial_calculate`` example of §IV.B);
+- :mod:`repro.operators.histogram` — 1D histograms on particle
+  attributes for online monitoring (Fig. 7(b)(e));
+- :mod:`repro.operators.histogram2d` — 2D histograms for parallel-
+  coordinate visualisation (Fig. 7(c)(f));
+- :mod:`repro.operators.sort` — parallel sample sort of particles by
+  their global label (Fig. 7(a)(d));
+- :mod:`repro.operators.bitmap` — WAH-compressed bitmap index for
+  range queries over particle coordinates (§II.A task 2);
+- :mod:`repro.operators.array_merge` — 3-D array layout reorganisation
+  merging partial chunks into large contiguous regions (Pixie3D,
+  Fig. 11);
+- :mod:`repro.operators.filter` — compute-node-side region filtering
+  (a Stage-1a data-reduction example).
+"""
+
+from repro.operators.minmax import MinMaxOperator
+from repro.operators.histogram import HistogramOperator
+from repro.operators.histogram2d import Histogram2DOperator
+from repro.operators.sort import SampleSortOperator
+from repro.operators.bitmap import BitmapIndex, BitmapIndexOperator
+from repro.operators.array_merge import ArrayMergeOperator
+from repro.operators.filter import FilterOperator
+from repro.operators.reduction import PrecisionReduceOperator, SubsampleOperator
+
+__all__ = [
+    "ArrayMergeOperator",
+    "BitmapIndex",
+    "BitmapIndexOperator",
+    "FilterOperator",
+    "Histogram2DOperator",
+    "HistogramOperator",
+    "MinMaxOperator",
+    "PrecisionReduceOperator",
+    "SampleSortOperator",
+    "SubsampleOperator",
+]

@@ -1,0 +1,59 @@
+"""Discrete-event simulation kernel underpinning the machine model.
+
+This package provides a small, deterministic, generator-based
+discrete-event engine in the style of SimPy.  Simulation *processes* are
+Python generators that ``yield`` :class:`~repro.sim.engine.Event` objects
+(timeouts, other processes, composite events) and are resumed by the
+:class:`~repro.sim.engine.Engine` when those events fire.
+
+The engine is the single source of simulated time for the whole
+reproduction: the machine model (:mod:`repro.machine`), the simulated MPI
+layer (:mod:`repro.mpi`) and the PreDatA middleware (:mod:`repro.core`)
+all run as processes on one engine instance.
+
+Example
+-------
+>>> from repro.sim import Engine
+>>> eng = Engine()
+>>> def hello(env):
+...     yield env.timeout(5.0)
+...     return env.now
+>>> proc = eng.process(hello(eng))
+>>> eng.run()
+>>> proc.value
+5.0
+"""
+
+from repro.sim.engine import (
+    AllOf,
+    AnyOf,
+    Engine,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Timeout,
+)
+from repro.sim.resources import (
+    Mailbox,
+    PreemptionError,
+    Resource,
+    SharedBandwidth,
+    Store,
+)
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Engine",
+    "Event",
+    "Interrupt",
+    "Mailbox",
+    "PreemptionError",
+    "Process",
+    "Resource",
+    "SharedBandwidth",
+    "SimulationError",
+    "Store",
+    "Timeout",
+]

@@ -1,0 +1,404 @@
+"""Generator-based discrete-event simulation engine.
+
+The engine keeps a priority queue of ``(time, priority, seq, event)``
+entries.  :class:`Process` objects wrap generators; each time the event a
+process is waiting on fires, the engine advances the generator, obtaining
+the next event to wait on.
+
+Determinism: all ties in the event queue are broken by a monotonically
+increasing sequence number, so a simulation with a fixed seed replays
+identically.  Nothing in the engine consults wall-clock time.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "SimulationError",
+    "Interrupt",
+    "Event",
+    "Timeout",
+    "Process",
+    "AnyOf",
+    "AllOf",
+    "Engine",
+]
+
+# Scheduling priorities: URGENT entries at the same timestamp run before
+# NORMAL ones.  Used so that resource releases propagate before new
+# acquisitions at the same instant.
+URGENT = 0
+NORMAL = 1
+
+
+class SimulationError(RuntimeError):
+    """Raised for structural errors in simulation programs."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`.
+
+    The ``cause`` attribute carries the value supplied by the
+    interrupter.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence that processes may wait on.
+
+    An event is *triggered* with either a value (:meth:`succeed`) or an
+    exception (:meth:`fail`).  Callbacks registered before triggering are
+    invoked, in order, when the engine pops the event off the queue.
+    """
+
+
+    def __init__(self, env: "Engine"):
+        self.env = env
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = None
+        self._ok: bool = True
+        self._triggered = False
+        self._scheduled = False
+
+    # -- state ---------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value or an exception."""
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run (event left the queue)."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (only meaningful once triggered)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if not self._triggered:
+            raise SimulationError("event value read before trigger")
+        return self._value
+
+    # -- triggering ----------------------------------------------------
+    def succeed(self, value: Any = None, *, priority: int = NORMAL) -> "Event":
+        """Trigger the event successfully with *value*."""
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        self._triggered = True
+        self._ok = True
+        self._value = value
+        self.env._enqueue(0.0, priority, self)
+        return self
+
+    def fail(self, exc: BaseException, *, priority: int = NORMAL) -> "Event":
+        """Trigger the event with an exception.
+
+        The exception is re-raised inside every waiting process.
+        """
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        if not isinstance(exc, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._triggered = True
+        self._ok = False
+        self._value = exc
+        self.env._enqueue(0.0, NORMAL, self)
+        return self
+
+    # -- internals -----------------------------------------------------
+    def _add_callback(self, cb: Callable[["Event"], None]) -> None:
+        if self.callbacks is None:
+            # Already processed: run immediately via a fresh queue entry so
+            # ordering guarantees still hold.
+            proxy = Event(self.env)
+            proxy._value, proxy._ok, proxy._triggered = self._value, self._ok, True
+            proxy.callbacks.append(cb)
+            self.env._enqueue(0.0, URGENT, proxy)
+        else:
+            self.callbacks.append(cb)
+
+    def _run_callbacks(self) -> None:
+        self._triggered = True  # timeouts trigger at pop, not at schedule
+        callbacks, self.callbacks = self.callbacks, None
+        for cb in callbacks:
+            cb(self)
+
+
+class Timeout(Event):
+    """An event that fires after a fixed simulated delay."""
+
+
+    def __init__(self, env: "Engine", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay!r}")
+        super().__init__(env)
+        self.delay = float(delay)
+        self._value = value
+        self._ok = True
+        env._enqueue(self.delay, NORMAL, self)
+
+
+class Initialize(Event):
+    """Internal event used to start a process at creation time."""
+
+
+    def __init__(self, env: "Engine", process: "Process"):
+        super().__init__(env)
+        self._value = None
+        self._ok = True
+        self._triggered = True
+        self.callbacks.append(process._resume)
+        env._enqueue(0.0, URGENT, self)
+
+
+class Process(Event):
+    """A running simulation process wrapping a generator.
+
+    A process is itself an event: it triggers (with the generator's
+    return value) when the generator finishes, so processes can wait on
+    each other simply by yielding the other :class:`Process`.
+    """
+
+
+    def __init__(self, env: "Engine", gen: Generator, name: str = ""):
+        if not hasattr(gen, "send"):
+            raise SimulationError(f"process requires a generator, got {gen!r}")
+        super().__init__(env)
+        self._gen = gen
+        self._target: Optional[Event] = None
+        self.name = name or getattr(gen, "__name__", "process")
+        Initialize(env, self)
+
+    @property
+    def is_alive(self) -> bool:
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self._triggered:
+            return  # interrupting a dead process is a no-op
+        if self._target is self:
+            raise SimulationError("a process cannot interrupt itself")
+        env = self.env
+        kick = Event(env)
+        kick._interrupt_for = self  # type: ignore[attr-defined]
+
+        def deliver(_ev: Event, proc: "Process" = self, cause: Any = cause) -> None:
+            if proc._triggered:
+                return
+            # Detach from whatever the process was waiting on.
+            target = proc._target
+            if target is not None and target.callbacks is not None:
+                try:
+                    target.callbacks.remove(proc._resume)
+                except ValueError:
+                    pass
+            proc._target = None
+            proc._step(Interrupt(cause), throw=True)
+
+        kick.callbacks.append(deliver)
+        kick._value, kick._ok, kick._triggered = None, True, True
+        env._enqueue(0.0, URGENT, kick)
+
+    # -- stepping ------------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        self._target = None
+        if event._ok:
+            self._step(event._value, throw=False)
+        else:
+            self._step(event._value, throw=True)
+
+    def _step(self, value: Any, *, throw: bool) -> None:
+        env = self.env
+        env._active_process = self
+        try:
+            if throw:
+                target = self._gen.throw(value)
+            else:
+                target = self._gen.send(value)
+        except StopIteration as stop:
+            env._active_process = None
+            self._triggered = True
+            self._ok = True
+            self._value = stop.value
+            env._enqueue(0.0, NORMAL, self)
+            return
+        except Interrupt as exc:
+            # Uncaught interrupt terminates the process with failure.
+            env._active_process = None
+            self._triggered = True
+            self._ok = False
+            self._value = exc
+            env._enqueue(0.0, NORMAL, self)
+            return
+        except BaseException as exc:
+            env._active_process = None
+            self._triggered = True
+            self._ok = False
+            self._value = exc
+            env._enqueue(0.0, NORMAL, self)
+            if not env._catch_errors:
+                raise
+            return
+        env._active_process = None
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded non-event {target!r}"
+            )
+        if target.env is not env:
+            raise SimulationError("yielded event belongs to a different engine")
+        self._target = target
+        target._add_callback(self._resume)
+
+
+class _Condition(Event):
+    """Base for AnyOf/AllOf composite events."""
+
+
+    def __init__(self, env: "Engine", events: Iterable[Event]):
+        super().__init__(env)
+        self._events = list(events)
+        for ev in self._events:
+            if ev.env is not env:
+                raise SimulationError("condition mixes events from different engines")
+        self._pending = len(self._events)
+        if self._pending == 0:
+            self.succeed(self._collect())
+        else:
+            for ev in self._events:
+                ev._add_callback(self._check)
+
+    def _collect(self) -> dict[Event, Any]:
+        return {ev: ev._value for ev in self._events if ev._triggered}
+
+    def _check(self, event: Event) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class AnyOf(_Condition):
+    """Fires when any constituent event fires; value maps fired events."""
+
+
+    def _check(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if not event._ok:
+            self.fail(event._value)
+        else:
+            self.succeed(self._collect())
+
+
+class AllOf(_Condition):
+    """Fires when all constituent events have fired."""
+
+
+    def _check(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if not event._ok:
+            self.fail(event._value)
+            return
+        self._pending -= 1
+        if self._pending == 0:
+            self.succeed(self._collect())
+
+
+class Engine:
+    """The discrete-event simulation engine.
+
+    Parameters
+    ----------
+    catch_errors:
+        When True (default), an exception escaping a process marks the
+        process failed instead of aborting the whole run; waiting on the
+        failed process re-raises.  Set False to debug tracebacks.
+    """
+
+    def __init__(self, *, catch_errors: bool = True):
+        self._now = 0.0
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._seq = 0
+        self._active_process: Optional[Process] = None
+        self._catch_errors = catch_errors
+
+    # -- public API ------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        return self._active_process
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Return an event firing *delay* seconds from now."""
+        return Timeout(self, delay, value)
+
+    def event(self) -> Event:
+        """Return a fresh untriggered event."""
+        return Event(self)
+
+    def process(self, gen: Generator, name: str = "") -> Process:
+        """Start *gen* as a new process at the current time."""
+        return Process(self, gen, name)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Composite event firing when any constituent fires."""
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Composite event firing when every constituent has fired."""
+        return AllOf(self, events)
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the queue drains or simulated time reaches *until*."""
+        if until is not None and until < self._now:
+            raise ValueError(f"until={until} is in the past (now={self._now})")
+        while self._queue:
+            t = self._queue[0][0]
+            if until is not None and t > until:
+                self._now = until
+                return
+            t, _prio, _seq, event = heapq.heappop(self._queue)
+            if t < self._now - 1e-12:
+                raise SimulationError("event queue time went backwards")
+            self._now = max(self._now, t)
+            event._run_callbacks()
+        if until is not None:
+            self._now = max(self._now, until)
+
+    def run_until_process(self, proc: Process) -> Any:
+        """Run until *proc* completes; return its value or raise its error."""
+        while not proc._triggered:
+            if not self._queue:
+                raise SimulationError(
+                    f"deadlock: queue empty but process {proc.name!r} alive"
+                )
+            t, _prio, _seq, event = heapq.heappop(self._queue)
+            self._now = max(self._now, t)
+            event._run_callbacks()
+        if not proc._ok:
+            raise proc._value
+        return proc._value
+
+    def peek(self) -> float:
+        """Time of the next queued event, or ``inf`` if the queue is empty."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    # -- internals -------------------------------------------------------
+    def _enqueue(self, delay: float, priority: int, event: Event) -> None:
+        if event._scheduled and not isinstance(event, Timeout):
+            return
+        event._scheduled = True
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))

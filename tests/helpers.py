@@ -1,0 +1,125 @@
+"""Shared fixtures/builders for core and operator tests."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.adios import GroupDef, OutputStep, VarDef, VarKind, ChunkMeta
+from repro.core import PreDatA
+from repro.machine import Machine, TESTING_TINY
+from repro.mpi import World
+from repro.sim import Engine
+
+# GTC-like particle group: (n, 8) rows; column 0 is the global label.
+PARTICLE_GROUP = GroupDef(
+    "particles",
+    (VarDef("electrons", "float64", VarKind.LOCAL_ARRAY, ndim=2),),
+)
+
+FIELD_GROUP = GroupDef(
+    "fields",
+    (VarDef("rho", "float64", VarKind.GLOBAL_ARRAY, ndim=3),),
+)
+
+
+def particle_step(rank, nprocs, rows, step=0, scale=1.0, seed=0):
+    """Synthetic out-of-order GTC particles for one rank."""
+    rng = np.random.default_rng(seed + 1000 * step + rank)
+    data = np.empty((rows, 8))
+    # column 0: global label of a particle that currently lives on this
+    # rank — labels are a random permutation slice, so arrays arrive
+    # out-of-order exactly like GTC's migrated particles.
+    data[:, 0] = rng.permutation(nprocs * rows)[:rows]
+    data[:, 1:4] = rng.uniform(-1, 1, size=(rows, 3))  # coordinates
+    data[:, 4:7] = rng.normal(0, 1, size=(rows, 3))  # velocities
+    data[:, 7] = rng.uniform(0, 1, rows)  # weight
+    return OutputStep(
+        group=PARTICLE_GROUP,
+        step=step,
+        rank=rank,
+        values={"electrons": data},
+        volume_scale=scale,
+    )
+
+
+def field_step(rank, nprocs, local_n, step=0, scale=1.0):
+    """Pixie3D-like 3-D chunk for one rank (1-D slab decomposition)."""
+    gx = nprocs * local_n
+    lo = rank * local_n
+    base = np.arange(gx * local_n * local_n, dtype=float).reshape(
+        gx, local_n, local_n
+    )
+    return OutputStep(
+        group=FIELD_GROUP,
+        step=step,
+        rank=rank,
+        values={"rho": base[lo : lo + local_n]},
+        chunks={"rho": ChunkMeta((gx, local_n, local_n), (lo, 0, 0))},
+        volume_scale=scale,
+    )
+
+
+def run_staging_pipeline(
+    operators,
+    *,
+    nprocs=8,
+    nstaging_nodes=1,
+    rows=40,
+    nsteps=1,
+    scale=10.0,
+    group=PARTICLE_GROUP,
+    make_step=None,
+    io_interval=2.0,
+    procs_per_staging_node=2,
+    scheduled=True,
+    fs_interference=False,
+):
+    """Run a small end-to-end Staging-configuration pipeline.
+
+    Returns (engine, machine, predata, app_visible_seconds).
+    """
+    eng = Engine()
+    machine = Machine(
+        eng,
+        nprocs,
+        nstaging_nodes,
+        spec=TESTING_TINY,
+        fs_interference=fs_interference,
+    )
+    app_world = World(
+        eng,
+        machine.network,
+        list(range(nprocs)),
+        name="app",
+        node_lookup=machine.node,
+        wire_scale=scale,
+    )
+    predata = PreDatA(
+        eng,
+        machine,
+        group,
+        operators,
+        ncompute_procs=nprocs,
+        nsteps=nsteps,
+        procs_per_staging_node=procs_per_staging_node,
+        volume_scale=scale,
+        scheduled_movement=scheduled,
+    )
+    predata.start()
+    visible = {}
+    maker = make_step or (
+        lambda rank, s: particle_step(rank, nprocs, rows, step=s, scale=scale)
+    )
+
+    def app_main(comm):
+        total = 0.0
+        for s in range(nsteps):
+            step = maker(comm.rank, s)
+            t = yield from predata.transport.write_step(comm, step)
+            total += t
+            yield from comm.sleep(io_interval)
+        visible[comm.rank] = total
+
+    app_world.spawn(app_main)
+    eng.run()
+    return eng, machine, predata, visible

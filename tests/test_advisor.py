@@ -1,0 +1,112 @@
+"""Tests for the placement advisor (cost models + recommendations)."""
+
+import pytest
+
+from repro.core import OperatorProfile, PlacementAdvisor
+from repro.machine import JAGUAR_XT5, Machine
+from repro.sim import Engine
+
+
+SORT = OperatorProfile(
+    flops_per_byte=2.0, membytes_factor=100.0, shuffle_fraction=1.0
+)
+HIST = OperatorProfile(
+    flops_per_byte=0.5, membytes_factor=0.0, shuffle_fraction=0.0,
+    output_bytes=8e6, reduces_data=True,
+)
+
+
+def make_advisor(**kw):
+    eng = Engine()
+    machine = Machine(eng, 64, 1, spec=JAGUAR_XT5)
+    defaults = dict(
+        nprocs=2048, bytes_per_proc=132e6, io_interval=120.0,
+        staging_procs=64, fetch_rate_cap=0.2e9,
+    )
+    defaults.update(kw)
+    return PlacementAdvisor(machine, **defaults)
+
+
+def test_profile_validation():
+    with pytest.raises(ValueError):
+        OperatorProfile(flops_per_byte=-1)
+    with pytest.raises(ValueError):
+        OperatorProfile(shuffle_fraction=1.5)
+
+
+def test_advisor_validation():
+    with pytest.raises(ValueError):
+        make_advisor(nprocs=0)
+    with pytest.raises(ValueError):
+        make_advisor(io_interval=0.0)
+    adv = make_advisor(staging_procs=0)
+    with pytest.raises(ValueError):
+        adv.predict_staging(SORT)
+
+
+def test_staging_minimises_visible_time():
+    adv = make_advisor()
+    ic = adv.predict_incompute(SORT)
+    st = adv.predict_staging(SORT)
+    assert st.visible_seconds < ic.visible_seconds / 10
+
+
+def test_incompute_minimises_latency_for_sort():
+    # Fig. 7's placement tradeoff: sorted data arrives much sooner when
+    # the operator runs in the compute nodes.
+    adv = make_advisor()
+    ic = adv.predict_incompute(SORT)
+    st = adv.predict_staging(SORT)
+    assert ic.latency_seconds < st.latency_seconds / 10
+
+
+def test_recommendations_match_paper_conclusions():
+    adv = make_advisor()
+    assert adv.recommend(SORT, "simulation_time").placement == "staging"
+    assert adv.recommend(SORT, "latency").placement == "incompute"
+    assert adv.recommend(HIST, "simulation_time").placement == "staging"
+    with pytest.raises(ValueError):
+        adv.recommend(SORT, "vibes")
+
+
+def test_offline_latency_worst_for_reorg():
+    adv = make_advisor()
+    off = adv.predict_offline(SORT)
+    ic = adv.predict_incompute(SORT)
+    assert off.latency_seconds > ic.latency_seconds
+
+
+def test_staging_latency_shrinks_with_more_procs():
+    adv = make_advisor()
+    small = adv.predict_staging(SORT, staging_procs=8)
+    big = adv.predict_staging(SORT, staging_procs=128)
+    assert big.latency_seconds < small.latency_seconds
+
+
+def test_size_staging_area_near_paper_ratio():
+    # the paper provisions 64 staging procs for the 2048-proc GTC run
+    # (64:1 cores); the sizing model should land in that neighbourhood
+    adv = make_advisor()
+    n = adv.size_staging_area(SORT)
+    assert 16 <= n <= 256
+
+
+def test_size_staging_area_monotone_in_headroom():
+    adv = make_advisor()
+    tight = adv.size_staging_area(SORT, headroom=0.4)
+    loose = adv.size_staging_area(SORT, headroom=0.9)
+    assert loose <= tight
+
+
+def test_size_staging_area_infeasible():
+    adv = make_advisor(io_interval=0.5)  # absurdly tight budget
+    with pytest.raises(ValueError, match="budget"):
+        adv.size_staging_area(SORT)
+
+
+def test_feasibility_flag():
+    adv = make_advisor(io_interval=5.0)
+    st = adv.predict_staging(SORT)
+    assert not st.feasible  # 5 s interval cannot absorb the pipeline
+    adv2 = make_advisor(io_interval=600.0)
+    assert adv2.predict_staging(SORT).feasible

@@ -1,0 +1,73 @@
+"""Cross-validation: the analytic advisor against the simulation.
+
+The §VII sizing/placement models are only useful if they track what
+the full discrete-event pipeline actually does — so predict the GTC
+sorting workload analytically, run it, and require agreement within a
+small factor on every quantity the advisor reports.
+"""
+
+import pytest
+
+from repro.core import OperatorProfile, PlacementAdvisor
+from repro.experiments.runner import run_gtc
+from repro.machine import JAGUAR_XT5, Machine
+from repro.sim import Engine
+
+FAST = dict(ndumps=1, iterations_per_dump=2,
+            compute_seconds_per_iteration=10.0)
+
+SORT = OperatorProfile(
+    flops_per_byte=2.0, membytes_factor=100.0, shuffle_fraction=1.0
+)
+
+
+@pytest.fixture(scope="module")
+def measured():
+    return {
+        "staging": run_gtc(16384, "staging", "sort", **FAST),
+        "incompute": run_gtc(16384, "incompute", "sort", **FAST),
+    }
+
+
+@pytest.fixture(scope="module")
+def advisor():
+    eng = Engine()
+    machine = Machine(eng, 64, 1, spec=JAGUAR_XT5)
+    return PlacementAdvisor(
+        machine, nprocs=2048, bytes_per_proc=132e6, io_interval=120.0,
+        staging_procs=64, fetch_rate_cap=0.2e9,
+    )
+
+
+def test_staging_visible_prediction(measured, advisor):
+    predicted = advisor.predict_staging(SORT).visible_seconds
+    actual = measured["staging"].visible_write_seconds
+    assert predicted == pytest.approx(actual, rel=1.0)  # same regime
+    assert predicted < 0.2 and actual < 0.2
+
+
+def test_staging_latency_prediction(measured, advisor):
+    predicted = advisor.predict_staging(SORT).latency_seconds
+    actual = measured["staging"].staging_reports[0].latency
+    # the analytic model must land within 2x of the simulated pipeline
+    assert 0.5 < predicted / actual < 2.0
+
+
+def test_incompute_visible_prediction(measured, advisor):
+    predicted = advisor.predict_incompute(SORT).visible_seconds
+    m = measured["incompute"].metrics
+    actual = m.operations + m.io_blocking  # ops + raw-dump write
+    assert 0.4 < predicted / actual < 2.5
+
+
+def test_recommendation_matches_simulated_winner(measured, advisor):
+    # simulated: staging wins on total time for this workload
+    st = measured["staging"].metrics.total
+    ic = measured["incompute"].metrics.total
+    assert st < ic
+    assert advisor.recommend(SORT, "simulation_time").placement == "staging"
+    # simulated: in-compute wins on time-to-sorted-data
+    lat_st = measured["staging"].staging_reports[0].latency
+    lat_ic = measured["incompute"].metrics.operations
+    assert lat_ic < lat_st
+    assert advisor.recommend(SORT, "latency").placement == "incompute"

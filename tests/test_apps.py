@@ -1,0 +1,300 @@
+"""Tests for the GTC and Pixie3D application skeletons + diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.adios import SyncMPIIO
+from repro.apps import (
+    DiagnosticsOperator,
+    GTCApplication,
+    GTCConfig,
+    GTC_GROUP,
+    Pixie3DApplication,
+    Pixie3DConfig,
+    divergence,
+    gtc_particles,
+    kinetic_energy,
+    max_velocity,
+    pixie3d_group,
+)
+from repro.apps.gtc import COL_LABEL
+from repro.core import MovementScheduler, PreDatA
+from repro.machine import Machine, TESTING_TINY
+from repro.mpi import World
+from repro.operators import SampleSortOperator
+from repro.sim import Engine
+
+
+# ----------------------------------------------------------- GTC data
+def test_gtc_labels_form_global_permutation():
+    nprocs, rows = 6, 30
+    labels = np.concatenate(
+        [gtc_particles(r, nprocs, rows)[:, COL_LABEL] for r in range(nprocs)]
+    )
+    assert sorted(labels.astype(int)) == list(range(nprocs * rows))
+
+
+def test_gtc_particles_out_of_order():
+    data = gtc_particles(0, 8, 100)
+    labels = data[:, COL_LABEL]
+    assert not np.all(np.diff(labels) >= 0)  # migrated, unsorted
+
+
+def test_gtc_particles_deterministic():
+    a = gtc_particles(2, 8, 50, step=1)
+    b = gtc_particles(2, 8, 50, step=1)
+    np.testing.assert_array_equal(a, b)
+    c = gtc_particles(2, 8, 50, step=2)
+    assert not np.array_equal(a, c)
+
+
+def test_gtc_config_volumes():
+    cfg = GTCConfig(particles_per_proc=2_000_000, functional_rows=200)
+    assert cfg.logical_bytes_per_proc == pytest.approx(128e6, rel=0.01)
+    assert cfg.volume_scale == pytest.approx(10_000.0)
+    assert cfg.io_interval_seconds == pytest.approx(108.0)
+
+
+def small_gtc_cfg(**kw):
+    defaults = dict(
+        nprocs_logical=8,
+        particles_per_proc=20_000,
+        functional_rows=40,
+        iterations_per_dump=2,
+        ndumps=2,
+        compute_seconds_per_iteration=5.0,
+        comm_rounds_per_iteration=1,
+    )
+    defaults.update(kw)
+    return GTCConfig(**defaults)
+
+
+def test_gtc_runs_sync_io():
+    eng = Engine()
+    machine = Machine(eng, 4, 0, spec=TESTING_TINY, fs_interference=False)
+    world = World(eng, machine.network, list(range(4)),
+                  node_lookup=machine.node)
+    transport = SyncMPIIO(machine.filesystem)
+    app = GTCApplication(machine, world, transport, small_gtc_cfg())
+    app.spawn()
+    eng.run()
+    transport.finalize()
+    m = app.max_metrics()
+    assert m.compute == pytest.approx(4 * 5.0)
+    assert m.io_blocking > 0
+    assert m.total >= m.compute + m.io_blocking
+    f = transport.file("gtc_particles")
+    assert len(f.pgs) == 4 * 2  # 4 ranks x 2 dumps
+    assert len(f.steps()) == 2
+
+
+def test_gtc_staging_beats_sync_io_blocking():
+    def run(staged):
+        eng = Engine()
+        machine = Machine(eng, 4, 1, spec=TESTING_TINY, fs_interference=False)
+        cfg = small_gtc_cfg(particles_per_proc=200_000)
+        world = World(eng, machine.network, list(range(4)),
+                      node_lookup=machine.node)
+        if staged:
+            predata = PreDatA(
+                eng, machine, GTC_GROUP,
+                [SampleSortOperator("electrons", key_column=COL_LABEL)],
+                ncompute_procs=4, nsteps=cfg.ndumps,
+                volume_scale=cfg.volume_scale,
+            )
+            predata.start()
+            transport = predata.transport
+            scheduler = predata.scheduler
+        else:
+            transport = SyncMPIIO(machine.filesystem)
+            scheduler = MovementScheduler(eng)
+        app = GTCApplication(machine, world, transport, cfg,
+                             scheduler=scheduler)
+        app.spawn()
+        eng.run()
+        return app.max_metrics()
+
+    staged = run(True)
+    sync = run(False)
+    assert staged.io_blocking < sync.io_blocking
+
+
+def test_gtc_sorted_output_via_staging():
+    eng = Engine()
+    machine = Machine(eng, 4, 1, spec=TESTING_TINY, fs_interference=False)
+    cfg = small_gtc_cfg(ndumps=1)
+    world = World(eng, machine.network, list(range(4)),
+                  node_lookup=machine.node)
+    op = SampleSortOperator("electrons", key_column=COL_LABEL)
+    predata = PreDatA(eng, machine, GTC_GROUP, [op], ncompute_procs=4,
+                      nsteps=1, volume_scale=cfg.volume_scale)
+    predata.start()
+    app = GTCApplication(machine, world, predata.transport, cfg,
+                         scheduler=predata.scheduler)
+    app.spawn()
+    eng.run()
+    buckets = [
+        predata.service.result(op.name, 0, r)
+        for r in range(predata.nstaging_procs)
+    ]
+    total = sum(len(b) for b in buckets)
+    assert total == 4 * (cfg.functional_rows // 2)
+    labels = np.concatenate(
+        [np.atleast_2d(b)[:, COL_LABEL] for b in buckets if len(b)]
+    )
+    # sorted buckets in rank order give globally sorted labels
+    assert np.all(np.diff(labels) >= 0)
+
+
+# ----------------------------------------------------------- Pixie3D
+def small_pixie_cfg(**kw):
+    defaults = dict(
+        nprocs_logical=8,
+        local_size=8,
+        functional_size=4,
+        iterations_per_dump=2,
+        ndumps=1,
+        collective_rounds_per_iteration=3,
+        compute_seconds_between_collectives=0.7,
+    )
+    defaults.update(kw)
+    return Pixie3DConfig(**defaults)
+
+
+def test_pixie3d_config():
+    cfg = Pixie3DConfig(local_size=32, functional_size=8)
+    assert cfg.volume_scale == pytest.approx(64.0)
+    assert cfg.logical_bytes_per_proc == pytest.approx(8 * 32**3 * 8)
+
+
+def test_pixie3d_chunks_tile_global_array():
+    cfg = small_pixie_cfg()
+    eng = Engine()
+    machine = Machine(eng, 4, 0, spec=TESTING_TINY, fs_interference=False)
+    world = World(eng, machine.network, list(range(4)),
+                  node_lookup=machine.node)
+    app = Pixie3DApplication(machine, world, SyncMPIIO(machine.filesystem), cfg)
+    steps = [app.make_step(r, 0) for r in range(4)]
+    n = cfg.functional_size
+    gx = 4 * n
+    assembled = np.zeros((gx, n, n))
+    for s in steps:
+        off = s.chunks["rho"].offsets
+        assembled[off[0] : off[0] + n] = s.values["rho"]
+    # smooth global field: continuity across slab boundaries
+    jumps = np.abs(np.diff(assembled, axis=0)).max()
+    interior = np.abs(np.diff(assembled[:n], axis=0)).max()
+    assert jumps < 4 * interior + 1e-9
+
+
+def test_pixie3d_runs_and_reports():
+    cfg = small_pixie_cfg()
+    eng = Engine()
+    machine = Machine(eng, 4, 0, spec=TESTING_TINY, fs_interference=False)
+    world = World(eng, machine.network, list(range(4)),
+                  node_lookup=machine.node)
+    transport = SyncMPIIO(machine.filesystem)
+    app = Pixie3DApplication(machine, world, transport, cfg)
+    app.spawn()
+    eng.run()
+    m = app.max_metrics()
+    expected_compute = (
+        cfg.ndumps * cfg.iterations_per_dump
+        * cfg.collective_rounds_per_iteration
+        * cfg.compute_seconds_between_collectives
+    )
+    assert m.compute == pytest.approx(expected_compute)
+    assert m.comm > 0
+    assert m.io_blocking > 0
+
+
+def test_pixie3d_comm_phase_fraction_high():
+    # Pixie3D spends most of its loop inside comm phases — the property
+    # that makes async staging interference-prone (§V.C).
+    cfg = small_pixie_cfg(collective_rounds_per_iteration=8)
+    eng = Engine()
+    machine = Machine(eng, 4, 0, spec=TESTING_TINY, fs_interference=False)
+    world = World(eng, machine.network, list(range(4)),
+                  node_lookup=machine.node)
+    sched = MovementScheduler(eng)
+    app = Pixie3DApplication(
+        machine, world, SyncMPIIO(machine.filesystem), cfg, scheduler=sched
+    )
+    app.spawn()
+    eng.run()
+    # scheduler saw comm phases from all ranks
+    assert not sched.in_comm_phase(0)
+
+
+# ----------------------------------------------------- diagnostics
+def test_kinetic_energy_known_value():
+    rho = np.full((4, 4, 4), 2.0)
+    p = np.full((4, 4, 4), 4.0)
+    zero = np.zeros((4, 4, 4))
+    # |p|^2/(2 rho) = 16/4 = 4 per cell, 64 cells
+    assert kinetic_energy(rho, p, zero, zero) == pytest.approx(256.0)
+
+
+def test_kinetic_energy_ignores_vacuum():
+    rho = np.zeros((2, 2, 2))
+    p = np.ones((2, 2, 2))
+    assert kinetic_energy(rho, p, p, p) == 0.0
+
+
+def test_divergence_of_linear_field_constant():
+    n = 8
+    x = np.arange(n, dtype=float)
+    fx = np.broadcast_to(x[:, None, None], (n, n, n))
+    zero = np.zeros((n, n, n))
+    div = divergence(fx, zero, zero)
+    np.testing.assert_allclose(div, 1.0)
+
+
+def test_max_velocity():
+    rho = np.full((2, 2, 2), 2.0)
+    px = np.zeros((2, 2, 2))
+    px[0, 0, 0] = 6.0
+    assert max_velocity(rho, px, px * 0, px * 0) == pytest.approx(3.0)
+
+
+def test_diagnostics_operator_global_sums():
+    from tests.helpers import run_staging_pipeline, FIELD_GROUP  # noqa: F401
+    from repro.apps import pixie3d_group as _pg
+
+    cfg = small_pixie_cfg()
+    eng = Engine()
+    machine = Machine(eng, 4, 1, spec=TESTING_TINY, fs_interference=False)
+    world = World(eng, machine.network, list(range(4)),
+                  node_lookup=machine.node)
+    op = DiagnosticsOperator()
+    predata = PreDatA(eng, machine, _pg(), [op], ncompute_procs=4,
+                      nsteps=1, volume_scale=cfg.volume_scale)
+    predata.start()
+    app = Pixie3DApplication(machine, world, predata.transport, cfg,
+                             scheduler=predata.scheduler)
+    app.spawn()
+    eng.run()
+    owned = [
+        predata.service.result(op.name, 0, r)
+        for r in range(predata.nstaging_procs)
+    ]
+    owned = [o for o in owned if o is not None]
+    assert len(owned) == 1
+    res = owned[0]
+    # recompute expected from the chunks directly
+    steps = [app.make_step(r, 0) for r in range(4)]
+    expected_energy = sum(
+        kinetic_energy(
+            s.values["rho"], s.values["px"], s.values["py"], s.values["pz"]
+        )
+        for s in steps
+    )
+    assert res["energy"] == pytest.approx(expected_energy)
+    assert res["cells"] == 4 * cfg.functional_size**3
+
+
+def test_gtc_config_validation():
+    with pytest.raises(ValueError):
+        GTCConfig(functional_rows=0)
+    with pytest.raises(ValueError):
+        Pixie3DConfig(functional_size=1)

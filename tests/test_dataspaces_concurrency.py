@@ -1,0 +1,188 @@
+"""DataSpaces coherency under concurrency + service cost knobs."""
+
+import numpy as np
+import pytest
+
+from repro.dataspaces import DataSpaces, DSQueryStats, Region
+from repro.machine import Machine, TESTING_TINY
+from repro.sim import Engine
+
+
+def build(nservers=2, dims=(32, 32), **ds_kw):
+    eng = Engine()
+    machine = Machine(eng, 8, max(1, nservers // 2 + 1), spec=TESTING_TINY,
+                      fs_interference=False)
+    nodes = [list(machine.staging_node_ids)[i % machine.n_staging_nodes]
+             for i in range(nservers)]
+    ds = DataSpaces(eng, machine, nodes, **ds_kw)
+    ds.declare("f", dims)
+    return eng, machine, ds
+
+
+def test_reader_waits_for_inflight_writer():
+    """A get issued mid-put blocks until the write completes and then
+    sees the complete new version (the coherency protocol, §IV.D)."""
+    # wire_scale slows the put so the reader reliably lands inside it
+    eng, _, ds = build(wire_scale=1e4)
+    r = Region((0, 0), (32, 32))
+    order = []
+
+    def writer(env):
+        yield from ds.put(0, "f", r, np.zeros((32, 32)))
+        order.append(("w0", env.now))
+        yield env.timeout(1.0)
+        yield from ds.put(0, "f", r, np.full((32, 32), 5.0))
+        order.append(("w1", env.now))
+
+    got = {}
+
+    def reader(env):
+        # land in the middle of the second put's data movement
+        yield env.timeout(dict(order)["w0"] + 1.0 + 0.01)
+        out = yield from ds.get(1, "f", r)
+        got["t"] = env.now
+        got["data"] = out
+
+    def launch(env):
+        w = env.process(writer(env))
+        # wait until w0 is committed before scheduling the reader
+        while not order:
+            yield env.timeout(0.001)
+        env.process(reader(env))
+        yield w
+
+    eng.process(launch(eng))
+    eng.run()
+    w1_done = dict(order)["w1"]
+    assert got["t"] >= w1_done  # the reader waited out the writer
+    np.testing.assert_array_equal(got["data"], np.full((32, 32), 5.0))
+
+
+def test_no_dirty_reads_before_commit():
+    """Data of an uncommitted put is invisible: a reader that raced the
+    writer sees the previous version, never a partial one."""
+    eng, _, ds = build(wire_scale=1e4)
+    r = Region((0, 0), (32, 32))
+    seen = []
+
+    def writer(env):
+        yield from ds.put(0, "f", r, np.zeros((32, 32)))
+        yield from ds.put(0, "f", r, np.full((32, 32), 9.0))
+
+    def reader(env):
+        # arrive before the second put *starts* (writers == 0 yet)
+        yield env.timeout(1e-6)
+        out = yield from ds.get(1, "f", r)
+        seen.append(out.copy())
+
+    eng.process(writer(eng))
+    eng.process(reader(eng))
+    eng.run()
+    (out,) = seen
+    # the snapshot is one version or the other, never a mixture
+    assert (out == 0.0).all() or (out == 9.0).all()
+
+
+def test_concurrent_disjoint_puts_both_land():
+    eng, _, ds = build()
+
+    def writer(rank, region, value):
+        yield from ds.put(rank, "f", region, np.full(region.shape, value))
+
+    eng.process(writer(0, Region((0, 0), (16, 32)), 1.0))
+    eng.process(writer(1, Region((16, 0), (32, 32)), 2.0))
+    eng.run()
+
+    def reader():
+        out = yield from ds.get(2, "f", Region((0, 0), (32, 32)))
+        return out
+
+    p = eng.process(reader())
+    eng.run()
+    out = p.value
+    assert (out[:16] == 1.0).all()
+    assert (out[16:] == 2.0).all()
+
+
+def test_serve_bandwidth_slows_get():
+    def query_time(**kw):
+        eng, _, ds = build(**kw)
+
+        def main():
+            r = Region((0, 0), (32, 32))
+            yield from ds.put(0, "f", r, np.ones((32, 32)))
+            stats = DSQueryStats()
+            yield from ds.get(1, "f", r, stats=stats)
+            return stats.query_seconds
+
+        p = eng.process(main())
+        eng.run()
+        return p.value
+
+    fast = query_time()
+    slow = query_time(serve_bandwidth=1e4)  # 10 KB/s serving
+    assert slow > fast * 10
+
+
+def test_setup_server_seconds_serialises_clients():
+    eng, _, ds = build(setup_server_seconds=0.1)
+    r = Region((0, 0), (32, 32))
+    setups = []
+
+    def seed():
+        yield from ds.put(0, "f", r, np.ones((32, 32)))
+
+    p = eng.process(seed())
+    eng.run()
+
+    def client(node):
+        stats = DSQueryStats()
+        yield from ds.get(node, "f", r, stats=stats)
+        setups.append(stats.setup_seconds)
+
+    for n in range(6):
+        eng.process(client(n))
+    eng.run()
+    # six first-time clients serialise on the bootstrap server's cores
+    # (2 cores on TESTING_TINY): the slowest waited several slots
+    assert max(setups) > min(setups) * 2
+    assert max(setups) >= 0.3
+
+
+def test_reply_overhead_charged_per_server():
+    def qtime(overhead):
+        eng, _, ds = build(nservers=4, reply_overhead_seconds=overhead)
+        r = Region((0, 0), (32, 32))
+
+        def main():
+            yield from ds.put(0, "f", r, np.ones((32, 32)))
+            stats = DSQueryStats()
+            yield from ds.get(1, "f", r, stats=stats)
+            return stats
+
+        p = eng.process(main())
+        eng.run()
+        return p.value
+
+    base = qtime(0.0)
+    slow = qtime(0.05)
+    assert slow.servers_contacted == base.servers_contacted
+    assert slow.query_seconds >= (
+        base.query_seconds + 0.05 * base.servers_contacted - 1e-9
+    )
+
+
+def test_ds_parameter_validation():
+    eng = Engine()
+    machine = Machine(eng, 2, 1, spec=TESTING_TINY)
+    nodes = list(machine.staging_node_ids)
+    with pytest.raises(ValueError):
+        DataSpaces(eng, machine, [])
+    with pytest.raises(ValueError):
+        DataSpaces(eng, machine, nodes, wire_scale=0.0)
+    with pytest.raises(ValueError):
+        DataSpaces(eng, machine, nodes, serve_bandwidth=-1.0)
+    with pytest.raises(ValueError):
+        DataSpaces(eng, machine, nodes, setup_server_seconds=-0.1)
+    with pytest.raises(ValueError):
+        DataSpaces(eng, machine, nodes, reply_overhead_seconds=-0.1)

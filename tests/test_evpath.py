@@ -1,0 +1,184 @@
+"""Tests for the EVPath-style event graph substrate."""
+
+import numpy as np
+import pytest
+
+from repro.evpath import EventGraph
+from repro.machine import Network, NetworkConfig, TorusTopology
+from repro.sim import Engine
+
+
+def drive(eng, graph, stone, events):
+    def feeder():
+        for e in events:
+            yield from graph.submit(stone, e)
+
+    p = eng.process(feeder())
+    eng.run()
+    if not p.ok:
+        raise p.value
+
+
+def test_terminal_receives_events():
+    eng = Engine()
+    g = EventGraph(eng)
+    seen = []
+    sink = g.terminal(seen.append)
+    drive(eng, g, sink, [1, 2, 3])
+    assert seen == [1, 2, 3]
+    assert sink.events_in == 3
+
+
+def test_terminal_cost_charged():
+    eng = Engine()
+    g = EventGraph(eng)
+    sink = g.terminal(lambda e: None, cost_seconds=lambda e: 0.5)
+    drive(eng, g, sink, ["a", "b"])
+    assert eng.now == pytest.approx(1.0)
+
+
+def test_filter_drops_events():
+    eng = Engine()
+    g = EventGraph(eng)
+    seen = []
+    sink = g.terminal(seen.append)
+    flt = g.filter(lambda e: e % 2 == 0, sink)
+    drive(eng, g, flt, range(6))
+    assert seen == [0, 2, 4]
+    assert flt.events_in == 6 and flt.events_out == 3
+
+
+def test_transform_maps_and_drops_none():
+    eng = Engine()
+    g = EventGraph(eng)
+    seen = []
+    sink = g.terminal(seen.append)
+    tr = g.transform(lambda e: e * 10 if e > 1 else None, sink)
+    drive(eng, g, tr, [0, 1, 2, 3])
+    assert seen == [20, 30]
+
+
+def test_split_fans_out():
+    eng = Engine()
+    g = EventGraph(eng)
+    a, b = [], []
+    sp = g.split([g.terminal(a.append), g.terminal(b.append)])
+    drive(eng, g, sp, ["x"])
+    assert a == ["x"] and b == ["x"]
+    with pytest.raises(ValueError):
+        g.split([])
+
+
+def test_router_selects_target():
+    eng = Engine()
+    g = EventGraph(eng)
+    buckets = [[], [], []]
+    targets = [g.terminal(b.append) for b in buckets]
+    rt = g.router(lambda e: e % 3, targets)
+    drive(eng, g, rt, range(9))
+    assert buckets[0] == [0, 3, 6]
+    assert buckets[2] == [2, 5, 8]
+
+
+def test_router_none_drops():
+    eng = Engine()
+    g = EventGraph(eng)
+    seen = []
+    rt = g.router(lambda e: None if e < 0 else 0, [g.terminal(seen.append)])
+    drive(eng, g, rt, [-1, 5])
+    assert seen == [5]
+
+
+def test_queue_decouples_submitter():
+    eng = Engine()
+    g = EventGraph(eng)
+    done = []
+    slow_sink = g.terminal(done.append, cost_seconds=lambda e: 1.0)
+    q = g.queue(slow_sink, capacity=10)
+    submit_times = []
+
+    def feeder():
+        for e in range(3):
+            yield from g.submit(q, e)
+            submit_times.append(eng.now)
+
+    eng.process(feeder())
+    eng.run()
+    # submissions returned immediately; the worker drained at 1 ev/s
+    assert all(t < 0.5 for t in submit_times)
+    assert done == [0, 1, 2]
+    assert eng.now == pytest.approx(3.0)
+
+
+def test_queue_backpressure_blocks_submitter():
+    eng = Engine()
+    g = EventGraph(eng)
+    slow_sink = g.terminal(lambda e: None, cost_seconds=lambda e: 1.0)
+    q = g.queue(slow_sink, capacity=1)
+    times = []
+
+    def feeder():
+        for e in range(4):
+            yield from g.submit(q, e)
+            times.append(eng.now)
+
+    eng.process(feeder())
+    eng.run()
+    # with capacity 1 and a 1 s consumer, later submits block ~1 s apart
+    assert times[-1] >= 2.0
+
+
+def test_queue_close_stops_worker():
+    eng = Engine()
+    g = EventGraph(eng)
+    q = g.queue(g.terminal(lambda e: None), capacity=4)
+    drive(eng, g, q, [1, 2])
+    q.close()
+    eng.run()
+    assert q.depth == 0
+
+
+def test_bridge_charges_network_time():
+    eng = Engine()
+    topo = TorusTopology(4)
+    net = Network(eng, topo, NetworkConfig(link_bandwidth=1e6, latency=0.0,
+                                           hop_latency=0.0))
+    g = EventGraph(eng)
+    seen = []
+    sink = g.terminal(seen.append)
+    br = g.bridge(0, 1, net, sink)
+    payload = np.zeros(125_000)  # 1 MB over 1 MB/s -> 1 s
+    drive(eng, g, br, [payload])
+    assert eng.now == pytest.approx(1.0, rel=0.05)
+    assert br.bytes_moved == pytest.approx(1e6)
+    assert len(seen) == 1
+
+
+def test_bridge_wire_scale():
+    eng = Engine()
+    topo = TorusTopology(2)
+    net = Network(eng, topo, NetworkConfig(link_bandwidth=1e6, latency=0.0,
+                                           hop_latency=0.0))
+    g = EventGraph(eng)
+    br = g.bridge(0, 1, net, g.terminal(lambda e: None), wire_scale=10.0)
+    drive(eng, g, br, [np.zeros(12_500)])  # 100 KB x10 -> 1 s
+    assert eng.now == pytest.approx(1.0, rel=0.05)
+    with pytest.raises(ValueError):
+        g.bridge(0, 1, net, g.terminal(lambda e: None), wire_scale=0.0)
+
+
+def test_composed_pipeline():
+    """filter -> transform -> router -> queues -> terminals."""
+    eng = Engine()
+    g = EventGraph(eng)
+    evens, odds = [], []
+    q_even = g.queue(g.terminal(evens.append), capacity=8)
+    q_odd = g.queue(g.terminal(odds.append), capacity=8)
+    rt = g.router(lambda e: e % 2, [q_even, q_odd])
+    tr = g.transform(lambda e: e + 100, rt)
+    flt = g.filter(lambda e: e >= 0, tr)
+    drive(eng, g, flt, [-5, 0, 1, 2, 3, -9])
+    eng.run()
+    assert evens == [100, 102]
+    assert odds == [101, 103]
+    assert len(g.stones) == 7  # 2 terminals + 2 queues + router/transform/filter

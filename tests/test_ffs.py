@@ -1,0 +1,192 @@
+"""Unit + property tests for FFS encoding (schemas, roundtrip, peek)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.ffs import Field, Schema, SchemaError, decode, encode, peek
+
+
+# ------------------------------------------------------------- schema
+def test_field_canonicalises_dtype():
+    f = Field("x", "float64")
+    assert np.dtype(f.dtype) == np.float64
+
+
+def test_field_rejects_bad_dtype():
+    with pytest.raises(SchemaError):
+        Field("x", "not-a-dtype")
+    with pytest.raises(SchemaError):
+        Field("x", "U10")  # strings not encodable as fields
+
+
+def test_field_rejects_bad_shape():
+    with pytest.raises(SchemaError):
+        Field("x", "f8", (0,))
+    with pytest.raises(SchemaError):
+        Field("x", "f8", (-2,))
+
+
+def test_schema_duplicate_names():
+    with pytest.raises(SchemaError):
+        Schema("s", (Field("a", "f8"), Field("a", "i4")))
+
+
+def test_schema_of_shorthand():
+    s = Schema.of("rec", x="float64", arr=("int32", (-1, 8)))
+    assert s.field_names == ["x", "arr"]
+    assert s.field_by_name("arr").is_variable
+
+
+def test_schema_validate():
+    s = Schema.of("rec", x="f8")
+    with pytest.raises(SchemaError):
+        s.validate({})
+    with pytest.raises(SchemaError):
+        s.validate({"x": 1.0, "y": 2.0})
+    s.validate({"x": 1.0})
+
+
+def test_resolve_shape_checks_fixed_dims():
+    f = Field("a", "f8", (4, -1))
+    assert f.resolve_shape(np.zeros((4, 7))) == (4, 7)
+    with pytest.raises(SchemaError):
+        f.resolve_shape(np.zeros((3, 7)))
+    with pytest.raises(SchemaError):
+        f.resolve_shape(np.zeros((4,)))
+
+
+def test_schema_dict_roundtrip():
+    s = Schema.of("rec", x="f8", a=("i8", (-1,)), b=("f4", (2, 3)))
+    assert Schema.from_dict(s.to_dict()) == s
+
+
+# ------------------------------------------------------------ encode
+def test_roundtrip_scalars_and_arrays():
+    s = Schema.of("rec", step="int64", temp="float64", data=("float64", (-1,)))
+    values = {"step": 7, "temp": 3.25, "data": np.linspace(0, 1, 11)}
+    buf = encode(s, values, attrs={"rank": 3})
+    schema, out, attrs = decode(buf)
+    assert schema == s
+    assert out["step"] == 7
+    assert out["temp"] == 3.25
+    np.testing.assert_array_equal(out["data"], values["data"])
+    assert attrs == {"rank": 3}
+
+
+def test_roundtrip_2d_array():
+    s = Schema.of("p", particles=("float64", (-1, 8)))
+    arr = np.arange(40.0).reshape(5, 8)
+    _, out, _ = decode(encode(s, {"particles": arr}))
+    np.testing.assert_array_equal(out["particles"], arr)
+
+
+def test_multiple_arrays_alignment():
+    s = Schema.of("m", a=("int8", (-1,)), b=("float64", (-1,)), c=("int16", (-1,)))
+    values = {
+        "a": np.arange(3, dtype=np.int8),
+        "b": np.linspace(0, 1, 5),
+        "c": np.arange(7, dtype=np.int16),
+    }
+    _, out, _ = decode(encode(s, values))
+    for k in values:
+        np.testing.assert_array_equal(out[k], values[k])
+
+
+def test_zero_copy_views():
+    s = Schema.of("z", d=("float64", (-1,)))
+    buf = encode(s, {"d": np.arange(4.0)})
+    _, out, _ = decode(buf)
+    assert not out["d"].flags.writeable  # view into immutable bytes
+
+
+def test_peek_does_not_need_payload():
+    s = Schema.of("g", n="int64", chunk=("float64", (-1,)))
+    buf = encode(s, {"n": 99, "chunk": np.zeros(1000)}, attrs={"step": 4})
+    meta = peek(buf)
+    assert meta["scalars"]["n"] == 99
+    assert meta["attrs"]["step"] == 4
+    assert meta["shapes"]["chunk"] == [1000]
+
+
+def test_scalar_special_values():
+    s = Schema.of("sv", x="float64", z="complex128")
+    buf = encode(s, {"x": float("inf"), "z": 1 + 2j})
+    _, out, _ = decode(buf)
+    assert out["x"] == float("inf")
+    assert out["z"] == 1 + 2j
+
+
+def test_bad_magic_rejected():
+    with pytest.raises(SchemaError):
+        decode(b"XXXX" + b"\x00" * 100)
+    with pytest.raises(SchemaError):
+        peek(b"FF")
+
+
+def test_scalar_field_rejects_array_value():
+    s = Schema.of("s", x="f8")
+    with pytest.raises(SchemaError):
+        encode(s, {"x": np.zeros(3)})
+
+
+def test_encode_casts_dtype():
+    s = Schema.of("c", a=("float64", (-1,)))
+    buf = encode(s, {"a": np.arange(5, dtype=np.int32)})
+    _, out, _ = decode(buf)
+    assert out["a"].dtype == np.float64
+
+
+# ---------------------------------------------------------- property
+_DTYPES = ["int8", "int32", "int64", "uint16", "float32", "float64"]
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    dtype=st.sampled_from(_DTYPES),
+    data=st.data(),
+)
+def test_roundtrip_property(dtype, data):
+    shape = data.draw(
+        st.lists(st.integers(min_value=1, max_value=6), min_size=1, max_size=3)
+    )
+    arr = data.draw(
+        hnp.arrays(
+            dtype=np.dtype(dtype),
+            shape=tuple(shape),
+            elements=hnp.from_dtype(
+                np.dtype(dtype), allow_nan=False, allow_infinity=False
+            ),
+        )
+    )
+    scalar = data.draw(st.integers(min_value=-(2**31), max_value=2**31 - 1))
+    s = Schema.of(
+        "prop", k="int64", a=(dtype, tuple(-1 for _ in shape))
+    )
+    buf = encode(s, {"k": scalar, "a": arr}, attrs={"tag": "t"})
+    schema, out, attrs = decode(buf)
+    assert schema == s
+    assert out["k"] == scalar
+    np.testing.assert_array_equal(out["a"], arr)
+    assert attrs == {"tag": "t"}
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    nfields=st.integers(min_value=1, max_value=5),
+    data=st.data(),
+)
+def test_many_field_roundtrip_property(nfields, data):
+    fields = {}
+    values = {}
+    for i in range(nfields):
+        dtype = data.draw(st.sampled_from(_DTYPES))
+        n = data.draw(st.integers(min_value=1, max_value=50))
+        fields[f"f{i}"] = (dtype, (-1,))
+        values[f"f{i}"] = np.arange(n).astype(dtype)
+    s = Schema.of("multi", **fields)
+    _, out, _ = decode(encode(s, values))
+    for k, v in values.items():
+        np.testing.assert_array_equal(out[k], v)

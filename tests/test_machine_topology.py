@@ -1,0 +1,114 @@
+"""Unit + property tests for the torus topology."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine import TorusTopology
+
+
+def test_coords_roundtrip_small():
+    topo = TorusTopology(27, dims=(3, 3, 3))
+    for node in range(27):
+        assert topo.node_at(topo.coords(node)) == node
+
+
+def test_hops_self_zero():
+    topo = TorusTopology(16)
+    for node in range(16):
+        assert topo.hops(node, node) == 0
+
+
+def test_hops_symmetric():
+    topo = TorusTopology(24)
+    for a in range(24):
+        for b in range(24):
+            assert topo.hops(a, b) == topo.hops(b, a)
+
+
+def test_hops_wraparound():
+    # Ring of 8 in x: distance 0 -> 7 is 1 hop via wrap.
+    topo = TorusTopology(8, dims=(8, 1, 1))
+    assert topo.hops(0, 7) == 1
+    assert topo.hops(0, 4) == 4
+
+
+def test_diameter():
+    topo = TorusTopology(64, dims=(4, 4, 4))
+    assert topo.diameter == 6
+
+
+def test_neighbors_count_full_torus():
+    topo = TorusTopology(64, dims=(4, 4, 4))
+    for node in range(64):
+        neigh = list(topo.neighbors(node))
+        assert len(neigh) == 6
+        assert node not in neigh
+
+
+def test_neighbors_all_one_hop():
+    topo = TorusTopology(36, dims=(3, 3, 4))
+    for node in range(36):
+        for other in topo.neighbors(node):
+            assert topo.hops(node, other) == 1
+
+
+def test_graph_connected():
+    topo = TorusTopology(50)
+    g = topo.graph()
+    assert g.number_of_nodes() == 50
+    assert nx.is_connected(g)
+
+
+def test_graph_distance_matches_hops_on_full_torus():
+    topo = TorusTopology(27, dims=(3, 3, 3))
+    g = topo.graph()
+    paths = dict(nx.all_pairs_shortest_path_length(g))
+    for a in range(27):
+        for b in range(27):
+            assert paths[a][b] == topo.hops(a, b)
+
+
+def test_bisection_links_positive():
+    assert TorusTopology(64, dims=(4, 4, 4)).bisection_links() == 32
+    assert TorusTopology(1).bisection_links() >= 1
+
+
+def test_average_hops_reasonable():
+    topo = TorusTopology(64, dims=(4, 4, 4))
+    avg = topo.average_hops()
+    assert 0 < avg <= topo.diameter
+
+
+def test_invalid_construction():
+    with pytest.raises(ValueError):
+        TorusTopology(0)
+    with pytest.raises(ValueError):
+        TorusTopology(100, dims=(2, 2, 2))
+
+
+def test_coords_out_of_range():
+    topo = TorusTopology(8)
+    with pytest.raises(IndexError):
+        topo.coords(8)
+    with pytest.raises(IndexError):
+        topo.node_at((99, 0, 0))
+
+
+@settings(max_examples=50, deadline=None)
+@given(n=st.integers(min_value=1, max_value=600))
+def test_dims_cover_n(n):
+    topo = TorusTopology(n)
+    x, y, z = topo.dims
+    assert x * y * z >= n
+
+
+@settings(max_examples=30, deadline=None)
+@given(n=st.integers(min_value=2, max_value=200), data=st.data())
+def test_triangle_inequality(n, data):
+    topo = TorusTopology(n)
+    a = data.draw(st.integers(min_value=0, max_value=n - 1))
+    b = data.draw(st.integers(min_value=0, max_value=n - 1))
+    c = data.draw(st.integers(min_value=0, max_value=n - 1))
+    assert topo.hops(a, c) <= topo.hops(a, b) + topo.hops(b, c)

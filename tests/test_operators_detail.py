@@ -1,0 +1,261 @@
+"""Detailed unit + property tests for the built-in operators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adios import GroupDef, OutputStep, VarDef, VarKind
+from repro.core.operator import OperatorContext
+from repro.operators import (
+    HistogramOperator,
+    Histogram2DOperator,
+    MinMaxOperator,
+    SampleSortOperator,
+)
+from repro.operators.bitmap import BitmapIndex, WAHBitmap
+
+GROUP = GroupDef(
+    "p", (VarDef("electrons", "float64", VarKind.LOCAL_ARRAY, ndim=2),)
+)
+
+
+def step_of(data, rank=0, scale=1.0):
+    return OutputStep(group=GROUP, step=0, rank=rank,
+                      values={"electrons": np.atleast_2d(data)},
+                      volume_scale=scale)
+
+
+def ctx_of(rank=0, nworkers=4, aggregated=None, scale=1.0):
+    return OperatorContext(rank=rank, nworkers=nworkers, step=0,
+                           aggregated=aggregated, volume_scale=scale)
+
+
+# ------------------------------------------------------------- WAH
+@settings(max_examples=80, deadline=None)
+@given(data=st.data())
+def test_wah_roundtrip_property(data):
+    n = data.draw(st.integers(min_value=1, max_value=400))
+    mask = np.array(
+        data.draw(st.lists(st.booleans(), min_size=n, max_size=n))
+    )
+    bm = WAHBitmap.from_mask(mask)
+    np.testing.assert_array_equal(bm.to_mask(), mask)
+    assert bm.count() == int(mask.sum())
+
+
+def test_wah_compresses_runs():
+    sparse = np.zeros(10_000, dtype=bool)
+    sparse[5000] = True
+    dense_random = np.random.default_rng(0).random(10_000) > 0.5
+    assert WAHBitmap.from_mask(sparse).nbytes < 40
+    assert WAHBitmap.from_mask(sparse).nbytes < WAHBitmap.from_mask(
+        dense_random
+    ).nbytes / 20
+
+
+def test_wah_or():
+    a = np.zeros(100, dtype=bool)
+    b = np.zeros(100, dtype=bool)
+    a[10:20] = True
+    b[15:40] = True
+    combined = WAHBitmap.from_mask(a) | WAHBitmap.from_mask(b)
+    np.testing.assert_array_equal(combined.to_mask(), a | b)
+
+
+def test_wah_or_length_mismatch():
+    a = WAHBitmap.from_mask(np.zeros(10, dtype=bool))
+    b = WAHBitmap.from_mask(np.zeros(20, dtype=bool))
+    with pytest.raises(ValueError):
+        _ = a | b
+
+
+# ----------------------------------------------------- bitmap index
+@settings(max_examples=50, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    bins=st.integers(min_value=1, max_value=64),
+    lo=st.floats(min_value=-3, max_value=3),
+    width=st.floats(min_value=0.0, max_value=4.0),
+)
+def test_bitmap_index_query_property(seed, bins, lo, width):
+    rng = np.random.default_rng(seed)
+    values = rng.normal(size=200)
+    idx = BitmapIndex(values, bins=bins)
+    res = idx.query(lo, lo + width)
+    brute = (values >= lo) & (values <= lo + width)
+    np.testing.assert_array_equal(res.mask, brute)
+
+
+def test_bitmap_index_candidate_check_bounded():
+    values = np.linspace(0, 1, 10_000)
+    idx = BitmapIndex(values, bins=100)
+    res = idx.query(0.5, 0.6)
+    # edge bins only: ~2 bins of 100 rows each get re-checked
+    assert res.rows_checked <= 2 * (10_000 // 100 + 1)
+    assert res.nrows == int(((values >= 0.5) & (values <= 0.6)).sum())
+
+
+def test_bitmap_index_empty_and_errors():
+    idx = BitmapIndex(np.empty(0))
+    assert idx.query(0, 1).nrows == 0
+    with pytest.raises(ValueError):
+        BitmapIndex(np.zeros((2, 2)))
+    with pytest.raises(ValueError):
+        BitmapIndex(np.zeros(4), bins=0)
+    with pytest.raises(ValueError):
+        BitmapIndex(np.arange(4.0)).query(1.0, 0.0)
+
+
+def test_bitmap_index_constant_values():
+    idx = BitmapIndex(np.full(50, 7.0), bins=8)
+    assert idx.query(6.0, 8.0).nrows == 50
+    assert idx.query(8.5, 9.0).nrows == 0
+
+
+# ---------------------------------------------------------- sort op
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=999),
+    nworkers=st.integers(min_value=1, max_value=7),
+    nchunks=st.integers(min_value=1, max_value=6),
+)
+def test_sample_sort_pipeline_property(seed, nworkers, nchunks):
+    """Drive the operator's phases directly with random configs."""
+    rng = np.random.default_rng(seed)
+    op = SampleSortOperator("electrons", key_column=0)
+    chunks = []
+    for r in range(nchunks):
+        rows = rng.integers(1, 40)
+        data = rng.random((rows, 8))
+        data[:, 0] = rng.permutation(1000)[:rows]
+        chunks.append(step_of(data, rank=r))
+    partials = [op.partial_calculate(s) for s in chunks]
+    pool = op.aggregate(partials)
+    # every worker initialises with the same aggregated pool
+    ctxs = [ctx_of(rank=w, nworkers=nworkers, aggregated=pool)
+            for w in range(nworkers)]
+    for c in ctxs:
+        op.initialize(c)
+    # map on a single 'staging rank' then route by partition
+    routed = {w: [] for w in range(nworkers)}
+    for s in chunks:
+        for e in op.map(ctxs[0], s):
+            routed[op.partition(ctxs[0], e.tag) % nworkers].append(e)
+    buckets = {}
+    for w, emits in routed.items():
+        groups = {}
+        for e in emits:
+            groups.setdefault(e.tag, []).append(e.value)
+        for tag, values in groups.items():
+            buckets[w] = op.reduce(ctxs[w], tag, values)
+    # global order + conservation
+    all_rows = sum(len(v) for v in buckets.values())
+    assert all_rows == sum(np.atleast_2d(s.values["electrons"]).shape[0]
+                           for s in chunks)
+    prev_max = -np.inf
+    for w in sorted(buckets):
+        keys = np.atleast_2d(buckets[w])[:, 0]
+        assert np.all(np.diff(keys) >= 0)
+        assert keys[0] >= prev_max
+        prev_max = keys[-1]
+
+
+def test_sort_validation():
+    with pytest.raises(ValueError):
+        SampleSortOperator("v", 0, samples_per_rank=0)
+
+
+def test_sort_initialize_without_aggregate_fails():
+    op = SampleSortOperator("electrons", 0)
+    with pytest.raises(RuntimeError):
+        op.initialize(ctx_of(aggregated=None))
+
+
+# ------------------------------------------------------- histograms
+def test_histogram_constant_column():
+    op = HistogramOperator("electrons", column=0, bins=8)
+    data = np.zeros((20, 8))
+    agg = op.aggregate([op.partial_calculate(step_of(data))])
+    assert agg is not None and len(agg) == 9  # degenerate range widened
+    ctx = ctx_of(aggregated=agg)
+    op.initialize(ctx)
+    emits = list(op.map(ctx, step_of(data)))
+    assert emits[0].value.sum() == 20
+
+
+def test_histogram_empty_chunk_partial():
+    op = HistogramOperator("electrons", column=0)
+    assert op.partial_calculate(step_of(np.empty((0, 8)))) is None
+
+
+def test_histogram_combine_sums():
+    op = HistogramOperator("electrons", column=0, bins=4)
+    from repro.core.operator import Emit
+
+    items = [Emit("hist", np.array([1, 2, 3, 4])),
+             Emit("hist", np.array([10, 0, 0, 0]))]
+    out = op.combine(ctx_of(), items)
+    assert len(out) == 1
+    np.testing.assert_array_equal(out[0].value, [11, 2, 3, 4])
+
+
+def test_histogram_validation():
+    with pytest.raises(ValueError):
+        HistogramOperator("v", 0, bins=0)
+    with pytest.raises(ValueError):
+        Histogram2DOperator("v", columns=(0,))
+    with pytest.raises(ValueError):
+        Histogram2DOperator("v", columns=(0, 1), bins=(0, 4))
+
+
+def test_histogram2d_counts_match_numpy():
+    rng = np.random.default_rng(4)
+    data = rng.normal(size=(500, 8))
+    op = Histogram2DOperator("electrons", columns=(0, 1), bins=(8, 8))
+    agg = op.aggregate([op.partial_calculate(step_of(data))])
+    ctx = ctx_of(aggregated=agg)
+    op.initialize(ctx)
+    emits = list(op.map(ctx, step_of(data)))
+    expected, _, _ = np.histogram2d(data[:, 0], data[:, 1],
+                                    bins=(agg[0], agg[1]))
+    np.testing.assert_array_equal(emits[0].value, expected)
+
+
+# ------------------------------------------------------------ minmax
+def test_minmax_empty_partial():
+    op = MinMaxOperator("electrons")
+    assert op.partial_calculate(step_of(np.empty((0, 8)))) is None
+    assert op.aggregate([None, None]) is None
+
+
+def test_minmax_column_accessor():
+    op = MinMaxOperator("electrons")
+    data = np.array([[1.0, -5.0], [3.0, 2.0]])
+    g = GroupDef("p", (VarDef("electrons", "float64",
+                              VarKind.LOCAL_ARRAY, ndim=2),))
+    s = OutputStep(group=g, step=0, rank=0, values={"electrons": data})
+    res = op.aggregate([op.partial_calculate(s)])
+    assert res.column(0) == (1.0, 3.0)
+    assert res.column(1) == (-5.0, 2.0)
+    assert res.count == 2
+
+
+# ------------------------------------------------------ cost hooks
+def test_cost_hooks_scale_sanely():
+    sort = SampleSortOperator("electrons", 0)
+    small = step_of(np.random.default_rng(0).random((10, 8)), scale=1.0)
+    big = step_of(np.random.default_rng(0).random((10, 8)), scale=100.0)
+    assert sort.map_flops(big) == pytest.approx(sort.map_flops(small) * 100)
+    hist = HistogramOperator("electrons", 0)
+    assert hist.map_flops(big) == pytest.approx(hist.map_flops(small) * 100)
+    # histogram reduce cost must NOT scale with data volume
+    counts = [np.zeros(hist.bins, dtype=np.int64)] * 3
+    c1 = hist.reduce_flops(ctx_of(scale=1.0), "hist", counts)
+    c2 = hist.reduce_flops(ctx_of(scale=1000.0), "hist", counts)
+    assert c1 == c2
+    # sort reduce memory traffic scales with ctx volume
+    rows = [np.random.default_rng(1).random((10, 8))]
+    m1 = sort.reduce_membytes(ctx_of(scale=1.0), 0, rows)
+    m2 = sort.reduce_membytes(ctx_of(scale=50.0), 0, rows)
+    assert m2 == pytest.approx(m1 * 50)

@@ -1,0 +1,317 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim import AllOf, AnyOf, Engine, Interrupt, SimulationError
+
+
+def test_timeout_advances_clock():
+    eng = Engine()
+
+    def proc(env):
+        yield env.timeout(3.5)
+        return env.now
+
+    p = eng.process(proc(eng))
+    eng.run()
+    assert p.value == pytest.approx(3.5)
+    assert eng.now == pytest.approx(3.5)
+
+
+def test_negative_timeout_rejected():
+    eng = Engine()
+    with pytest.raises(ValueError):
+        eng.timeout(-1.0)
+
+
+def test_timeout_carries_value():
+    eng = Engine()
+
+    def proc(env):
+        got = yield env.timeout(1.0, value="payload")
+        return got
+
+    p = eng.process(proc(eng))
+    eng.run()
+    assert p.value == "payload"
+
+
+def test_process_waits_on_process():
+    eng = Engine()
+
+    def child(env):
+        yield env.timeout(2.0)
+        return 42
+
+    def parent(env):
+        c = env.process(child(env))
+        result = yield c
+        return (env.now, result)
+
+    p = eng.process(parent(eng))
+    eng.run()
+    assert p.value == (pytest.approx(2.0), 42)
+
+
+def test_sequential_timeouts_accumulate():
+    eng = Engine()
+    times = []
+
+    def proc(env):
+        for d in (1.0, 2.0, 3.0):
+            yield env.timeout(d)
+            times.append(env.now)
+
+    eng.process(proc(eng))
+    eng.run()
+    assert times == [pytest.approx(1.0), pytest.approx(3.0), pytest.approx(6.0)]
+
+
+def test_run_until_stops_clock():
+    eng = Engine()
+
+    def proc(env):
+        yield env.timeout(100.0)
+
+    eng.process(proc(eng))
+    eng.run(until=10.0)
+    assert eng.now == pytest.approx(10.0)
+    eng.run()
+    assert eng.now == pytest.approx(100.0)
+
+
+def test_run_until_in_past_rejected():
+    eng = Engine()
+
+    def proc(env):
+        yield env.timeout(5.0)
+
+    eng.process(proc(eng))
+    eng.run()
+    with pytest.raises(ValueError):
+        eng.run(until=1.0)
+
+
+def test_event_succeed_wakes_waiter():
+    eng = Engine()
+    ev = eng.event()
+    log = []
+
+    def waiter(env):
+        val = yield ev
+        log.append((env.now, val))
+
+    def trigger(env):
+        yield env.timeout(4.0)
+        ev.succeed("done")
+
+    eng.process(waiter(eng))
+    eng.process(trigger(eng))
+    eng.run()
+    assert log == [(pytest.approx(4.0), "done")]
+
+
+def test_event_double_trigger_raises():
+    eng = Engine()
+    ev = eng.event()
+    ev.succeed(1)
+    with pytest.raises(SimulationError):
+        ev.succeed(2)
+
+
+def test_event_fail_raises_in_waiter():
+    eng = Engine()
+    ev = eng.event()
+    caught = []
+
+    def waiter(env):
+        try:
+            yield ev
+        except RuntimeError as exc:
+            caught.append(str(exc))
+
+    def trigger(env):
+        yield env.timeout(1.0)
+        ev.fail(RuntimeError("boom"))
+
+    eng.process(waiter(eng))
+    eng.process(trigger(eng))
+    eng.run()
+    assert caught == ["boom"]
+
+
+def test_fail_requires_exception_instance():
+    eng = Engine()
+    ev = eng.event()
+    with pytest.raises(TypeError):
+        ev.fail("not an exception")
+
+
+def test_waiting_on_already_processed_event():
+    eng = Engine()
+    ev = eng.event()
+    ev.succeed("early")
+    results = []
+
+    def late_waiter(env):
+        yield env.timeout(5.0)
+        val = yield ev
+        results.append(val)
+
+    eng.process(late_waiter(eng))
+    eng.run()
+    assert results == ["early"]
+
+
+def test_anyof_fires_on_first():
+    eng = Engine()
+
+    def proc(env):
+        t1 = env.timeout(1.0, value="fast")
+        t2 = env.timeout(10.0, value="slow")
+        fired = yield env.any_of([t1, t2])
+        return (env.now, list(fired.values()))
+
+    p = eng.process(proc(eng))
+    eng.run(until=2.0)
+    assert p.value[0] == pytest.approx(1.0)
+    assert p.value[1] == ["fast"]
+
+
+def test_allof_waits_for_all():
+    eng = Engine()
+
+    def proc(env):
+        t1 = env.timeout(1.0, value="a")
+        t2 = env.timeout(10.0, value="b")
+        fired = yield env.all_of([t1, t2])
+        return (env.now, sorted(fired.values()))
+
+    p = eng.process(proc(eng))
+    eng.run()
+    assert p.value == (pytest.approx(10.0), ["a", "b"])
+
+
+def test_allof_empty_fires_immediately():
+    eng = Engine()
+
+    def proc(env):
+        yield env.all_of([])
+        return env.now
+
+    p = eng.process(proc(eng))
+    eng.run()
+    assert p.value == pytest.approx(0.0)
+
+
+def test_failed_process_propagates_to_waiter():
+    eng = Engine()
+
+    def bad(env):
+        yield env.timeout(1.0)
+        raise ValueError("inner")
+
+    def parent(env):
+        try:
+            yield env.process(bad(env))
+        except ValueError as exc:
+            return f"caught {exc}"
+
+    p = eng.process(parent(eng))
+    eng.run()
+    assert p.value == "caught inner"
+
+
+def test_interrupt_delivered():
+    eng = Engine()
+    log = []
+
+    def sleeper(env):
+        try:
+            yield env.timeout(100.0)
+        except Interrupt as i:
+            log.append((env.now, i.cause))
+
+    def killer(env, victim):
+        yield env.timeout(3.0)
+        victim.interrupt("wake up")
+
+    victim = eng.process(sleeper(eng))
+    eng.process(killer(eng, victim))
+    eng.run()
+    assert log == [(pytest.approx(3.0), "wake up")]
+
+
+def test_interrupt_dead_process_is_noop():
+    eng = Engine()
+
+    def quick(env):
+        yield env.timeout(1.0)
+
+    p = eng.process(quick(eng))
+    eng.run()
+    p.interrupt("too late")  # must not raise
+    eng.run()
+
+
+def test_yield_non_event_raises():
+    eng = Engine(catch_errors=False)
+
+    def bad(env):
+        yield 42
+
+    eng.process(bad(eng))
+    with pytest.raises(SimulationError):
+        eng.run()
+
+
+def test_run_until_process_returns_value():
+    eng = Engine()
+
+    def proc(env):
+        yield env.timeout(7.0)
+        return "v"
+
+    p = eng.process(proc(eng))
+    assert eng.run_until_process(p) == "v"
+
+
+def test_run_until_process_detects_deadlock():
+    eng = Engine()
+    ev = eng.event()  # never triggered
+
+    def stuck(env):
+        yield ev
+
+    p = eng.process(stuck(eng))
+    with pytest.raises(SimulationError, match="deadlock"):
+        eng.run_until_process(p)
+
+
+def test_determinism_two_runs_identical():
+    def build():
+        eng = Engine()
+        trace = []
+
+        def worker(env, name, delay):
+            for i in range(3):
+                yield env.timeout(delay)
+                trace.append((env.now, name, i))
+
+        for n, d in [("a", 1.0), ("b", 1.0), ("c", 0.5)]:
+            eng.process(worker(eng, n, d))
+        eng.run()
+        return trace
+
+    assert build() == build()
+
+
+def test_peek_reports_next_event_time():
+    eng = Engine()
+
+    def proc(env):
+        yield env.timeout(9.0)
+
+    eng.process(proc(eng))
+    eng.run(until=0.0)  # start the process
+    assert eng.peek() == pytest.approx(9.0)
