@@ -25,6 +25,7 @@ __all__ = [
     "dataspaces",
     "evpath",
     "experiments",
+    "faults",
     "ffs",
     "machine",
     "mpi",

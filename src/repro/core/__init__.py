@@ -42,13 +42,14 @@ from repro.core.adaptive import (
 )
 from repro.core.client import StagingClient, StagingTransport
 from repro.core.scheduler import MovementScheduler
-from repro.core.staging import StagingService
+from repro.core.staging import DrainTimeout, StagingConfig, StagingService
 from repro.core.placement import InComputeNodeRunner, OfflineCostModel
 from repro.core.middleware import PreDatA
 
 __all__ = [
     "AdaptivePlacement",
     "Alarm",
+    "DrainTimeout",
     "Emit",
     "PlacementBudget",
     "PlacementDecision",
@@ -64,6 +65,7 @@ __all__ = [
     "PreDatA",
     "PreDatAOperator",
     "StagingClient",
+    "StagingConfig",
     "StagingService",
     "StagingTransport",
     "StepReport",

@@ -28,6 +28,7 @@ from repro.adios.group import OutputStep
 from repro.adios.io import IOMethod
 from repro.core.operator import PreDatAOperator
 from repro.core.scheduler import MovementScheduler
+from repro.faults.errors import FetchDropped, NoLiveStagers
 from repro.machine.machine import Machine
 from repro.mpi.communicator import Communicator
 from repro.sim.engine import Engine, Event
@@ -78,12 +79,19 @@ class StagingClient:
         route: Optional[Callable[[int, int, int], int]] = None,
         max_buffered_steps: int = 2,
         fetch_rate_cap: Optional[float] = None,
+        resilient: bool = False,
     ):
         """``fetch_rate_cap`` (bytes/s per staging process) paces the
         asynchronous RDMA gets: scheduled movement deliberately draws
         data at a bounded rate to bound interference with the
         application's communication ([2]'s server-directed pacing).
-        None disables pacing (fetch at full NIC speed)."""
+        None disables pacing (fetch at full NIC speed).
+
+        ``resilient=True`` switches the buffer lifecycle to the
+        recovery protocol: fetches no longer consume the compute-side
+        buffer — it is released only by :meth:`commit` once the whole
+        staging world has finished the step — so a crashed stager's
+        step can be re-fetched by survivors with zero data loss."""
         if nstaging < 1:
             raise ValueError("need at least one staging process")
         self.env = env
@@ -106,17 +114,79 @@ class StagingClient:
         self._pending: dict[int, list[Event]] = {}
         self.visible_seconds: dict[int, float] = {}
         self.partial_calc_seconds: dict[int, float] = {}
+        # -- resilience state ------------------------------------------
+        self.resilient = resilient
+        #: fault-injection hook: (compute_rank, step, attempt) ->
+        #: None | ("drop"|"slow", delay)
+        self.fault_hook: Optional[Callable[[int, int, int], Any]] = None
+        #: staging ranks declared dead by the failure detector
+        self._failed_stagers: set[int] = set()
+        #: uncommitted dump notices keyed (compute_rank, step); value is
+        #: the FetchRequest, or None for a skip notice
+        self._requests_log: dict[tuple[int, int], Optional[FetchRequest]] = {}
+        #: graceful degradation flag: transports fall back to sync writes
+        self.degraded = False
+        #: controller callback replaying a buffer through the fallback
+        #: when a dump lands after the last stager died
+        self._orphan_sink: Optional[Callable[[int, int], Any]] = None
 
     # -- routing ------------------------------------------------------------
     def route(self, compute_rank: int) -> int:
-        """The validated staging rank serving *compute_rank*."""
+        """The validated staging rank serving *compute_rank*.
+
+        With failures, dead targets are remapped deterministically onto
+        the survivors (ring order), so every compute process — and the
+        recovery controller re-delivering logged requests — agrees on
+        the failover assignment without any negotiation.
+        """
         target = self._route(compute_rank, self.ncompute, self.nstaging)
         if not 0 <= target < self.nstaging:
             raise ValueError(
                 f"Route() returned {target} outside staging world of "
                 f"{self.nstaging}"
             )
+        if target in self._failed_stagers:
+            survivors = self.alive_stagers
+            if not survivors:
+                raise NoLiveStagers("all staging ranks have failed")
+            target = survivors[target % len(survivors)]
         return target
+
+    # -- failure bookkeeping -------------------------------------------------
+    @property
+    def alive_stagers(self) -> list[int]:
+        return [r for r in range(self.nstaging) if r not in self._failed_stagers]
+
+    @property
+    def has_live_stagers(self) -> bool:
+        return len(self._failed_stagers) < self.nstaging
+
+    def mark_stager_failed(self, staging_rank: int) -> None:
+        """Record *staging_rank* dead; future routing avoids it."""
+        self._failed_stagers.add(staging_rank)
+
+    def enter_degraded_mode(self) -> None:
+        """Switch transports to synchronous in-compute-node writes."""
+        self.degraded = True
+
+    def commit(self, compute_rank: int, step: int) -> None:
+        """Release the compute-side buffer of a fully processed dump.
+
+        Called by the staging service after the commit barrier (all
+        survivors finished the step), or by the recovery controller for
+        steps that completed globally before a crash.
+        """
+        self._requests_log.pop((compute_rank, step), None)
+        rec = self._buffers.pop((compute_rank, step), None)
+        if rec is not None:
+            self.machine.node(rec.node_id).free(rec.logical_nbytes)
+            if not rec.freed.triggered:
+                rec.freed.succeed()
+
+    def buffer_payload(self, compute_rank: int, step: int) -> Optional[bytes]:
+        """Packed bytes of an uncommitted dump (controller replay path)."""
+        rec = self._buffers.get((compute_rank, step))
+        return None if rec is None else rec.payload
 
     def compute_ranks_of(self, staging_rank: int) -> list[int]:
         """Compute ranks served by *staging_rank* under current routing."""
@@ -180,7 +250,6 @@ class StagingClient:
         pending.append(freed)
 
         # Stage 1c: data-fetch request to the routed staging process.
-        target = self.route(comm.rank)
         request = FetchRequest(
             compute_rank=comm.rank,
             compute_node=comm.node_id,
@@ -189,10 +258,23 @@ class StagingClient:
             partials=partials,
             t_dump_start=start,
         )
-        yield from self.machine.network.transfer(
-            comm.node_id, self.staging_nodes[target % len(self.staging_nodes)], 256.0
-        )
-        self.request_box(target).deliver(comm.rank, step.step, request)
+        if self.resilient:
+            self._requests_log[(comm.rank, step.step)] = request
+        if self.has_live_stagers:
+            target = self.route(comm.rank)
+            yield from self.machine.network.transfer(
+                comm.node_id,
+                self.staging_nodes[target % len(self.staging_nodes)],
+                256.0,
+            )
+            if self.resilient:
+                # the target may have died during the wire delay
+                target = self.route(comm.rank)
+            self.request_box(target).deliver(comm.rank, step.step, request)
+        elif self._orphan_sink is not None:
+            # Last stager died mid-write: hand the buffer straight to
+            # the controller's fallback replay so the dump still lands.
+            env.process(self._orphan_sink(comm.rank, step.step))
 
         visible = env.now - start
         self.visible_seconds[comm.rank] = (
@@ -207,25 +289,48 @@ class StagingClient:
         The staging service still matches the step's request round but
         fetches nothing from this process.
         """
+        if self.resilient:
+            self._requests_log[(comm.rank, step)] = None
+        if not self.has_live_stagers:
+            return
         target = self.route(comm.rank)
         yield from self.machine.network.transfer(
             comm.node_id, self.staging_nodes[target % len(self.staging_nodes)], 64.0
         )
+        if self.resilient:
+            target = self.route(comm.rank)
         self.request_box(target).deliver(comm.rank, step, None)
 
     # -- stage 3: RDMA service ----------------------------------------------------
     def serve_fetch(
-        self, compute_rank: int, step: int, staging_node: int
+        self, compute_rank: int, step: int, staging_node: int, *, attempt: int = 0
     ) -> Generator:
         """Process body (staging side): scheduled RDMA get of one chunk.
 
-        Returns the packed payload bytes; frees the compute-node buffer.
+        Returns the packed payload bytes.  Without resilience the
+        compute-node buffer is freed here; in resilient mode it stays
+        until :meth:`commit`, so an interrupted/dropped fetch (and a
+        whole-step restart after a stager crash) can re-pull the data.
         """
         key = (compute_rank, step)
-        rec = self._buffers.pop(key, None)
+        if self.resilient:
+            rec = self._buffers.get(key)
+        else:
+            rec = self._buffers.pop(key, None)
         if rec is None:
             raise KeyError(f"no buffered chunk for rank {compute_rank} step {step}")
+        fault = (
+            self.fault_hook(compute_rank, step, attempt)
+            if self.fault_hook is not None
+            else None
+        )
         yield from self.scheduler.wait_clear(rec.node_id)
+        if fault is not None:
+            mode, delay = fault
+            if delay > 0:
+                yield self.env.timeout(delay)
+            if mode == "drop":
+                raise FetchDropped(compute_rank, step, attempt)
         wire = self.machine.network.transfer_event(
             rec.node_id, staging_node, rec.logical_nbytes, rdma=True
         )
@@ -234,8 +339,9 @@ class StagingClient:
             yield self.env.all_of([wire, pace])
         else:
             yield wire
-        self.machine.node(rec.node_id).free(rec.logical_nbytes)
-        rec.freed.succeed()
+        if not self.resilient:
+            self.machine.node(rec.node_id).free(rec.logical_nbytes)
+            rec.freed.succeed()
         return rec.payload
 
     @property
@@ -244,13 +350,30 @@ class StagingClient:
 
 
 class StagingTransport(IOMethod):
-    """ADIOS transport that routes output through the staging area."""
+    """ADIOS transport that routes output through the staging area.
 
-    def __init__(self, client: StagingClient):
+    ``fallback`` (an :class:`IOMethod`, typically synchronous MPI-IO)
+    takes over when the client has entered degraded mode: dumps are
+    written synchronously from the compute nodes and surviving stagers
+    (if any) receive a skip notice so their step rounds stay matched.
+    """
+
+    def __init__(self, client: StagingClient, *, fallback: Optional[IOMethod] = None):
         self.client = client
+        self.fallback = fallback
         self.visible_write_seconds = 0.0
+        self.degraded_steps = 0
 
     def write_step(self, comm: Communicator, step: OutputStep) -> Generator:
+        if self.client.degraded and self.fallback is not None:
+            start = comm.env.now
+            yield from self.fallback.write_step(comm, step)
+            if self.client.has_live_stagers:
+                yield from self.client.skip_step(comm, step.step)
+            self.degraded_steps += 1
+            t = comm.env.now - start
+            self.visible_write_seconds += t
+            return t
         t = yield from self.client.write_step(comm, step)
         self.visible_write_seconds += t
         return t

@@ -28,10 +28,13 @@ from __future__ import annotations
 from typing import Callable, Optional
 
 from repro.adios.group import GroupDef
+from repro.adios.io import IOMethod, SyncMPIIO
 from repro.core.client import StagingClient, StagingTransport
 from repro.core.operator import PreDatAOperator
 from repro.core.scheduler import MovementScheduler
 from repro.core.staging import StagingConfig, StagingService
+from repro.faults.config import ResilienceConfig
+from repro.faults.recovery import ResilienceController
 from repro.machine.machine import Machine
 from repro.mpi.world import World
 from repro.sim.engine import Engine
@@ -61,7 +64,13 @@ class PreDatA:
         route: Optional[Callable[[int, int, int], int]] = None,
         model_size: Optional[int] = None,
         chunk_order: Optional[Callable] = None,
+        resilience: Optional[ResilienceConfig] = None,
+        fallback_io: Optional[IOMethod] = None,
     ):
+        """``resilience`` enables the failure detection/recovery protocol
+        (heartbeats, commit barrier, failover routing, degradation);
+        ``fallback_io`` is the synchronous transport degraded writes use
+        (default: a fresh ``SyncMPIIO`` on the machine's file system)."""
         if machine.n_staging_nodes < 1:
             raise ValueError("machine has no staging nodes allocated")
         if ncompute_procs < 1:
@@ -97,8 +106,12 @@ class PreDatA:
             route=route,
             max_buffered_steps=max_buffered_steps,
             fetch_rate_cap=fetch_rate_cap,
+            resilient=resilience is not None,
         )
-        self.transport = StagingTransport(self.client)
+        self.fallback_io: Optional[IOMethod] = None
+        if resilience is not None:
+            self.fallback_io = fallback_io or SyncMPIIO(machine.filesystem)
+        self.transport = StagingTransport(self.client, fallback=self.fallback_io)
         self.service = StagingService(
             env,
             machine,
@@ -111,17 +124,25 @@ class PreDatA:
                 fetch_pipeline_depth=fetch_pipeline_depth,
                 nsteps=nsteps,
                 chunk_order=chunk_order,
+                resilience=resilience,
             ),
         )
+        self.controller: Optional[ResilienceController] = None
+        if resilience is not None:
+            self.controller = ResilienceController(
+                env, machine, self.service, resilience, fallback=self.fallback_io
+            )
 
     # -- lifecycle ----------------------------------------------------------
     def start(self) -> None:
         """Launch the staging-area program (separate 'MPI job')."""
         self.service.start()
+        if self.controller is not None:
+            self.controller.arm()
 
-    def drain(self):
+    def drain(self, timeout: Optional[float] = None):
         """Process body: wait for the staging area to finish all steps."""
-        yield from self.service.drain()
+        yield from self.service.drain(timeout)
 
     # -- convenience ------------------------------------------------------------
     @property

@@ -31,18 +31,25 @@ from __future__ import annotations
 
 import inspect
 from dataclasses import dataclass
-from typing import Any, Hashable, Optional
+from typing import Any, Generator, Hashable, Optional
 
 from repro.adios.group import GroupDef, OutputStep
 from repro.core.client import FetchRequest, StagingClient
 from repro.core.operator import Emit, OperatorContext, PreDatAOperator, StepReport
+from repro.faults.config import ResilienceConfig
+from repro.faults.errors import FetchDropped, FetchTimeout, RecoveryRestart
 from repro.machine.machine import Machine
+from repro.machine.node import NodeFailure
 from repro.mpi.communicator import Communicator
 from repro.mpi.world import World
-from repro.sim.engine import Engine
+from repro.sim.engine import Engine, Interrupt
 from repro.sim.resources import Resource, Store
 
-__all__ = ["StagingConfig", "StagingService"]
+__all__ = ["StagingConfig", "StagingService", "DrainTimeout"]
+
+
+class DrainTimeout(RuntimeError):
+    """``drain()`` gave up waiting; names the steps still outstanding."""
 
 
 @dataclass(frozen=True)
@@ -62,6 +69,9 @@ class StagingConfig:
     fetch_pipeline_depth: int = 2
     nsteps: int = 1
     chunk_order: Optional[Any] = None
+    #: failure handling knobs; None disables the recovery protocol and
+    #: preserves the exact pre-resilience pipeline behaviour.
+    resilience: Optional[ResilienceConfig] = None
 
     def __post_init__(self) -> None:
         if self.threads_per_process < 1:
@@ -106,6 +116,17 @@ class StagingService:
         self._procs: list = []
         #: callbacks fired as each staging rank finishes a step
         self._step_listeners: list = []
+        # -- resilience state ------------------------------------------
+        #: next uncommitted step per staging rank (recovery restart point)
+        self._rank_step: dict[int, int] = {}
+        #: per-rank in-flight step scratch needing cleanup on abort
+        self._inflight: dict[int, dict] = {}
+        #: sim time each step's commit barrier completed
+        self.commit_times: dict[int, float] = {}
+        #: count of step re-executions forced by recovery
+        self.restarts = 0
+        #: count of fetch attempts beyond the first (timeouts/drops)
+        self.fetch_retries = 0
 
     def add_step_listener(self, callback) -> None:
         """Register ``callback(step, rank)`` fired per rank completion
@@ -117,11 +138,38 @@ class StagingService:
         """Spawn the service loop on every staging rank."""
         self._procs = self.world.spawn(self._service_main)
 
-    def drain(self):
-        """Process body: wait until every staging rank finished all steps."""
+    def drain(self, timeout: Optional[float] = None):
+        """Process body: wait until every staging rank finished all steps.
+
+        ``timeout`` (simulated seconds) bounds the wait; on expiry a
+        :class:`DrainTimeout` is raised describing exactly which steps
+        and staging ranks never completed, instead of blocking the
+        caller forever on a wedged pipeline.
+        """
         if not self._procs:
             raise RuntimeError("drain() before start()")
-        yield self.env.all_of(self._procs)
+        done = self.env.all_of(self._procs)
+        if timeout is None:
+            yield done
+            return
+        deadline = self.env.timeout(timeout)
+        yield self.env.any_of([done, deadline])
+        if not done.triggered:
+            raise DrainTimeout(self._undrained_message(timeout))
+
+    def _undrained_message(self, timeout: float) -> str:
+        expected = self.world.active_ranks
+        lines = []
+        for step in range(self.config.nsteps):
+            per_rank = self.rank_reports.get(step, {})
+            missing = [r for r in expected if r not in per_rank]
+            if missing:
+                lines.append(f"step {step}: waiting on staging ranks {missing}")
+        detail = "; ".join(lines) if lines else "no step reports missing"
+        return (
+            f"staging drain timed out after {timeout:g} simulated seconds "
+            f"({detail})"
+        )
 
     # -- aggregated views -----------------------------------------------------
     def step_report(self, step: int) -> StepReport:
@@ -153,28 +201,86 @@ class StagingService:
 
     # -- the service loop ---------------------------------------------------------
     def _service_main(self, comm: Communicator):
-        for step in range(self.config.nsteps):
-            yield from self._run_step(comm, step)
+        if self.config.resilience is None:
+            for step in range(self.config.nsteps):
+                yield from self._run_step(comm, step)
+            return
+        # Resilient loop: a step may be aborted by the recovery
+        # controller (RecoveryRestart) and re-executed, or the whole
+        # rank torn down when its own node crashes (NodeFailure).
+        step = 0
+        while step < self.config.nsteps:
+            self._rank_step[comm.rank] = step
+            try:
+                yield from self._run_step(comm, step)
+            except Interrupt as exc:
+                cause = exc.cause
+                self._abort_cleanup(comm)
+                if isinstance(cause, NodeFailure):
+                    return  # this rank's node died; exit quietly
+                if isinstance(cause, RecoveryRestart):
+                    self.restarts += 1
+                    step = cause.restart_step
+                    continue
+                raise
+            else:
+                step = self._rank_step[comm.rank]
+
+    def _abort_cleanup(self, comm: Communicator) -> None:
+        """Undo a partially executed step after an abort interrupt."""
+        inflight = self._inflight.pop(comm.rank, None)
+        if not inflight:
+            return
+        fproc = inflight.get("fetcher")
+        if fproc is not None and fproc.is_alive:
+            fproc.interrupt("step aborted")
+        node = inflight.get("node")
+        alloc = inflight.get("alloc", 0.0)
+        if node is not None and alloc > 0:
+            node.free(alloc)
 
     def _run_step(self, comm: Communicator, step: int):
         env = self.env
         node = comm.node
         threads = self.config.threads_per_process
+        resilience = self.config.resilience
         report = StepReport(step=step)
         my_computes = self.client.compute_ranks_of(comm.rank)
+        inflight: dict = {"node": node, "alloc": 0.0, "fetcher": None}
+        if resilience is not None:
+            self._inflight[comm.rank] = inflight
 
         # -- 1. gather data-fetch requests --------------------------------
         # (timed from the first request's arrival: the wait for the
         # application to reach its dump is idle time, not pipeline cost)
         box = self.client.request_box(comm.rank)
         requests: list[FetchRequest] = []
+        received: dict[int, Optional[FetchRequest]] = {}
         t_first = None
-        for _ in my_computes:
-            _src, _tag, req = yield box.receive(tag=step)
-            if t_first is None:
-                t_first = env.now
-            if req is not None:  # None = skip notice (adaptive placement)
-                requests.append(req)
+        if resilience is None:
+            for _ in my_computes:
+                _src, _tag, req = yield box.receive(tag=step)
+                if t_first is None:
+                    t_first = env.now
+                if req is not None:  # None = skip notice (adaptive placement)
+                    requests.append(req)
+        else:
+            # Keyed by source so a redelivered duplicate cannot skew the
+            # count; the receive is withdrawn cleanly if we are aborted.
+            expected = set(my_computes)
+            while not expected <= received.keys():
+                ev = box.receive(tag=step)
+                try:
+                    src, _tag, req = yield ev
+                except BaseException:
+                    box.cancel(ev)
+                    raise
+                if t_first is None:
+                    t_first = env.now
+                received[src] = req
+            requests = [
+                received[r] for r in sorted(received) if received[r] is not None
+            ]
         if self.config.chunk_order is not None:
             requests = list(self.config.chunk_order(requests))
         else:
@@ -214,14 +320,19 @@ class StagingService:
             self.rank_reports.setdefault(step, {})[comm.rank] = report
             for listener in self._step_listeners:
                 listener(step, comm.rank)
+            if resilience is not None:
+                yield from self._commit_step(comm, step, received)
             return
 
         # -- 3. initialize ---------------------------------------------------
+        # Under failures the worker set is the world's surviving ranks;
+        # without failures this is exactly all of them.
+        active = self.world.active_ranks
         ctxs: dict[str, OperatorContext] = {}
         for op in self.operators:
             ctx = OperatorContext(
                 rank=comm.rank,
-                nworkers=comm.size,
+                nworkers=len(active),
                 step=step,
                 aggregated=aggregated[op.name],
                 threads=threads,
@@ -243,17 +354,26 @@ class StagingService:
         def fetcher():
             for req in requests:
                 grant = slots.request()
-                yield grant
+                try:
+                    yield grant
+                except BaseException:
+                    slots.cancel(grant)
+                    raise
                 t_f = env.now
-                payload = yield from self.client.serve_fetch(
-                    req.compute_rank, step, comm.node_id
-                )
+                if resilience is None:
+                    payload = yield from self.client.serve_fetch(
+                        req.compute_rank, step, comm.node_id
+                    )
+                else:
+                    payload = yield from self._fetch_with_retry(req, step, comm)
                 fetch_clock["busy"] += env.now - t_f
                 if node is not None:
                     node.allocate(req.logical_nbytes)
+                    inflight["alloc"] += req.logical_nbytes
                 yield chunk_store.put((req, payload))
 
         fproc = env.process(fetcher(), name=f"fetch[{comm.rank}]s{step}")
+        inflight["fetcher"] = fproc
         t_stream0 = env.now
         map_busy = 0.0
         for _ in requests:
@@ -275,6 +395,7 @@ class StagingService:
             map_busy += env.now - t_m
             if node is not None:
                 node.free(req.logical_nbytes)
+                inflight["alloc"] -= req.logical_nbytes
                 report.peak_buffer_bytes = max(
                     report.peak_buffer_bytes, node.memory_high_water
                 )
@@ -294,7 +415,9 @@ class StagingService:
                 yield from node.compute(cflops, cores=threads)
             outbound: list[list[Emit]] = [[] for _ in range(comm.size)]
             for e in items:
-                dest = op.partition(ctx, e.tag) % comm.size
+                # partition() indexes workers; map onto surviving ranks
+                # (identity when nothing has failed).
+                dest = active[op.partition(ctx, e.tag) % len(active)]
                 outbound[dest].append(e)
             # Reduction-type operators shuffle fixed-size summaries; the
             # wire inflation only applies to the data fraction that
@@ -339,3 +462,61 @@ class StagingService:
         self.rank_reports.setdefault(step, {})[comm.rank] = report
         for listener in self._step_listeners:
             listener(step, comm.rank)
+        if resilience is not None:
+            yield from self._commit_step(comm, step, received)
+
+    # -- recovery protocol pieces -------------------------------------------
+    def _commit_step(
+        self, comm: Communicator, step: int, received: dict
+    ) -> Generator:
+        """Commit barrier: all survivors finished *step*, buffers free.
+
+        Until the barrier completes, no rank releases any compute-side
+        buffer of the step, so a crash inside the step can always be
+        recovered by re-fetching; after it, every rank commits its own
+        clients' dumps and advances in lockstep.
+        """
+        yield from comm.barrier()
+        for src in sorted(received):
+            self.client.commit(src, step)
+        self.commit_times[step] = self.env.now
+        self._rank_step[comm.rank] = step + 1
+        self._inflight.pop(comm.rank, None)
+
+    def _fetch_with_retry(self, req: FetchRequest, step: int, comm: Communicator):
+        """One chunk fetch under timeout + exponential-backoff retry.
+
+        Each attempt runs ``serve_fetch`` as a child process raced
+        against the per-attempt timeout; a losing attempt is interrupted
+        (the buffer survives — resilient fetches don't consume it) and
+        re-issued after a doubling backoff.
+        """
+        env = self.env
+        r = self.config.resilience
+        delay = r.fetch_retry_backoff
+        for attempt in range(r.fetch_max_attempts):
+            proc = env.process(
+                self.client.serve_fetch(
+                    req.compute_rank, step, comm.node_id, attempt=attempt
+                ),
+                name=f"fetch-try[{comm.rank}]c{req.compute_rank}s{step}a{attempt}",
+            )
+            deadline = env.timeout(r.fetch_timeout)
+            try:
+                yield env.any_of([proc, deadline])
+            except FetchDropped:
+                pass
+            except BaseException:
+                # the step itself is being aborted: kill the attempt
+                if proc.is_alive:
+                    proc.interrupt("step aborted")
+                raise
+            if proc.triggered and proc.ok:
+                return proc.value
+            if proc.is_alive:
+                proc.interrupt("fetch timed out")
+            self.fetch_retries += 1
+            if attempt + 1 < r.fetch_max_attempts:
+                yield env.timeout(delay)
+                delay *= 2.0
+        raise FetchTimeout(req.compute_rank, step, r.fetch_max_attempts)

@@ -1,0 +1,380 @@
+"""Chaos experiment: staging-node crash mid-step, recovery measured.
+
+Exercises the resilience subsystem end to end at 512–2048 *logical*
+ranks (representative-rank methodology, see DESIGN.md): a Pixie3D-like
+application dumps 3-D field steps through the Staging configuration
+with the layout-reorganisation operator, and a seeded
+:class:`~repro.faults.injector.FaultInjector` kills one staging node in
+the middle of a step.  The run must then demonstrate the protocol's
+guarantees:
+
+- the surviving staging processes detect the death via heartbeats,
+  adopt the dead node's compute clients and re-execute the interrupted
+  step from the commit point (recovery latency);
+- the run completes and **every** dump step is readable back from the
+  merged BP file (or the synchronous fallback file under degradation)
+  bit-for-bit — zero data loss;
+- the whole scenario is reproducible event-for-event under a fixed
+  injector seed (the :func:`fingerprint` of two same-seed runs is
+  identical).
+
+``main()`` prints one row per logical scale, comparing against an
+identical no-fault baseline to isolate recovery interference.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.adios.bp import BPFile, BPWriter
+from repro.adios.group import ChunkMeta, GroupDef, OutputStep, VarDef, VarKind
+from repro.adios.io import SyncMPIIO
+from repro.core import PreDatA
+from repro.experiments.report import fmt_pct, fmt_seconds, format_table
+from repro.faults import FaultInjector, ResilienceConfig
+from repro.machine import Machine, TESTING_TINY
+from repro.mpi import World
+from repro.operators.array_merge import ArrayMergeOperator
+from repro.sim import Engine
+
+__all__ = ["ChaosResult", "ChaosRun", "fingerprint", "main", "run_chaos", "run_once"]
+
+#: Pixie3D-like output group: one 3-D global array (stand-in for the
+#: eight fields; the merge path is identical per variable).
+FIELD_GROUP = GroupDef(
+    "fields",
+    (VarDef("rho", "float64", VarKind.GLOBAL_ARRAY, ndim=3),),
+)
+
+
+def _expected_field(nprocs: int, local_n: int, step: int) -> np.ndarray:
+    """The deterministic global array every reader must recover."""
+    gx = nprocs * local_n
+    cells = np.arange(gx * local_n * local_n, dtype=float)
+    return (cells + 1000.0 * step).reshape(gx, local_n, local_n)
+
+
+def _field_step(
+    rank: int, nprocs: int, local_n: int, step: int, scale: float
+) -> OutputStep:
+    """One rank's 1-D slab of the global field (Pixie3D decomposition)."""
+    gx = nprocs * local_n
+    lo = rank * local_n
+    base = _expected_field(nprocs, local_n, step)
+    return OutputStep(
+        group=FIELD_GROUP,
+        step=step,
+        rank=rank,
+        values={"rho": base[lo : lo + local_n]},
+        chunks={"rho": ChunkMeta((gx, local_n, local_n), (lo, 0, 0))},
+        volume_scale=scale,
+    )
+
+
+@dataclass
+class ChaosRun:
+    """Everything one chaos run produced (handles + derived metrics)."""
+
+    logical_ranks: int
+    rep_ranks: int
+    nsteps: int
+    injected: bool
+    killed_node: int
+    crash_seconds: float
+    wall_seconds: float
+    complete: bool
+    missing_steps: list[int]
+    detection_seconds: Optional[float]
+    recovery_seconds: Optional[float]
+    restarts: int
+    fetch_retries: int
+    degraded_steps: int
+    merged: BPFile
+    fallback_file: Optional[BPFile]
+    engine: Engine = field(repr=False, default=None)
+    predata: PreDatA = field(repr=False, default=None)
+    injector: Optional[FaultInjector] = field(repr=False, default=None)
+
+
+@dataclass
+class ChaosResult:
+    """One printed row: fault run vs. its no-fault baseline."""
+
+    logical_ranks: int
+    rep_ranks: int
+    nstaging_procs: int
+    killed_node: int
+    detection_seconds: Optional[float]
+    recovery_seconds: Optional[float]
+    restarts: int
+    fetch_retries: int
+    degraded_steps: int
+    complete: bool
+    baseline_seconds: float
+    wall_seconds: float
+    overhead_fraction: float
+
+
+def run_once(
+    *,
+    logical_ranks: int = 512,
+    rep_ranks: int = 8,
+    nsteps: int = 4,
+    local_n: int = 8,
+    per_logical_rank_mb: float = 0.5,
+    io_interval: float = 2.0,
+    nstaging_nodes: int = 2,
+    procs_per_staging_node: int = 2,
+    inject: bool = True,
+    kill_step: int = 1,
+    kill_offset: float = 0.2,
+    seed: int = 7,
+    resilience: Optional[ResilienceConfig] = None,
+    make_injector: bool = True,
+) -> ChaosRun:
+    """One complete chaos scenario; returns metrics + readable files.
+
+    The ``rep_ranks`` simulated processes stand for ``logical_ranks``
+    logical ones: each carries its share of the logical dump volume
+    (``per_logical_rank_mb`` MB per logical rank) as wire/memory
+    inflation, so fetch and shuffle take realistic simulated time and
+    the kill genuinely lands inside an in-flight step.
+
+    ``inject=False`` runs the *identical* configuration (same seed,
+    same injector object constructed) with every injection disabled —
+    the interference baseline and the determinism control.
+    ``make_injector=False`` goes further and builds no injector at
+    all, for asserting that a disabled injector is bit-identical to
+    its complete absence.
+    """
+    eng = Engine()
+    machine = Machine(
+        eng, rep_ranks, nstaging_nodes, spec=TESTING_TINY, fs_interference=False
+    )
+    real_bytes = local_n * local_n * local_n * 8
+    scale = max(
+        1.0,
+        logical_ranks * per_logical_rank_mb * 1e6 / (rep_ranks * real_bytes),
+    )
+    writer = BPWriter("merged.bp", FIELD_GROUP)
+    op = ArrayMergeOperator(["rho"], out_group=FIELD_GROUP, writer=writer)
+    fallback = SyncMPIIO(machine.filesystem)
+    predata = PreDatA(
+        eng,
+        machine,
+        FIELD_GROUP,
+        [op],
+        ncompute_procs=rep_ranks,
+        nsteps=nsteps,
+        procs_per_staging_node=procs_per_staging_node,
+        volume_scale=scale,
+        resilience=resilience or ResilienceConfig(),
+        fallback_io=fallback,
+    )
+    crash_t = kill_step * io_interval + kill_offset
+    injector = None
+    killed = -1
+    if make_injector:
+        injector = FaultInjector(eng, machine, seed=seed, enabled=inject)
+        injector.arm(predata.client)
+        killed = injector.crash_staging_node(at=crash_t)
+
+    app = World(
+        eng,
+        machine.network,
+        list(range(rep_ranks)),
+        name="app",
+        node_lookup=machine.node,
+        wire_scale=scale,
+        model_size=logical_ranks,
+    )
+    predata.start()
+
+    def app_main(comm):
+        for s in range(nsteps):
+            step = _field_step(comm.rank, rep_ranks, local_n, s, scale)
+            yield from predata.transport.write_step(comm, step)
+            yield from comm.sleep(io_interval)
+
+    app.spawn(app_main)
+    eng.run()
+    wall = eng.now
+
+    fallback.finalize()
+    merged = writer.close()
+    try:
+        fallback_file: Optional[BPFile] = fallback.file(FIELD_GROUP.name)
+    except KeyError:
+        fallback_file = None
+
+    # -- completeness: every step readable back, bit-for-bit --------------
+    missing: list[int] = []
+    for s in range(nsteps):
+        expected = _expected_field(rep_ranks, local_n, s)
+        if not _step_recovered(merged, fallback_file, s, expected):
+            missing.append(s)
+
+    controller = predata.controller
+    detection = controller.detection_latency() if controller else None
+    # Recovery latency: crash -> commit of the step the survivors had to
+    # re-execute (the restart step recorded in the recovery timeline).
+    recovery = None
+    if inject and controller is not None:
+        restart_step = next(
+            (d["step"] for k, _t, d in controller.timeline if k == "recovery"),
+            None,
+        )
+        commit = (
+            predata.service.commit_times.get(restart_step)
+            if restart_step is not None
+            else None
+        )
+        if commit is not None and commit > crash_t:
+            recovery = commit - crash_t
+    return ChaosRun(
+        logical_ranks=logical_ranks,
+        rep_ranks=rep_ranks,
+        nsteps=nsteps,
+        injected=inject,
+        killed_node=killed,
+        crash_seconds=crash_t,
+        wall_seconds=wall,
+        complete=not missing,
+        missing_steps=missing,
+        detection_seconds=detection,
+        recovery_seconds=recovery,
+        restarts=predata.service.restarts,
+        fetch_retries=predata.service.fetch_retries,
+        degraded_steps=predata.transport.degraded_steps,
+        merged=merged,
+        fallback_file=fallback_file,
+        engine=eng,
+        predata=predata,
+        injector=injector,
+    )
+
+
+def _step_recovered(
+    merged: BPFile,
+    fallback_file: Optional[BPFile],
+    step: int,
+    expected: np.ndarray,
+) -> bool:
+    """Whether *step*'s global array reads back exactly from any file."""
+    for f in (merged, fallback_file):
+        if f is None:
+            continue
+        try:
+            got = f.read_global_array("rho", step)
+        except Exception:
+            continue
+        if np.array_equal(got, expected):
+            return True
+    return False
+
+
+def fingerprint(run: ChaosRun) -> str:
+    """Digest of everything observable about a run (determinism guard).
+
+    Covers the injected-fault log, the recovery timeline, per-step
+    commit times, the final wall clock, and the full content of every
+    process-group record written — two runs with the same seed must
+    produce the same digest, event-for-event and bit-for-bit.
+    """
+    h = hashlib.sha256()
+    for kind, t, detail in run.injector.injected if run.injector else ():
+        h.update(f"inj|{kind}|{t:.9f}|{detail!r};".encode())
+    controller = run.predata.controller
+    if controller is not None:
+        for kind, t, detail in controller.timeline:
+            h.update(f"tl|{kind}|{t:.9f}|{detail!r};".encode())
+    for s in sorted(run.predata.service.commit_times):
+        h.update(f"commit|{s}|{run.predata.service.commit_times[s]:.9f};".encode())
+    h.update(f"wall|{run.wall_seconds:.9f};".encode())
+    for f in (run.merged, run.fallback_file):
+        if f is None:
+            continue
+        for pg in f.pgs:
+            h.update(f"pg|{f.name}|{pg.rank}|{pg.step}|".encode())
+            h.update(pg.payload)
+    return h.hexdigest()
+
+
+def run_chaos(
+    logical_ranks_list: Optional[list[int]] = None,
+    *,
+    seed: int = 7,
+    **kwargs,
+) -> list[ChaosResult]:
+    """Fault run + no-fault baseline at each logical scale."""
+    rows = []
+    for logical in logical_ranks_list or [512, 1024, 2048]:
+        fault = run_once(logical_ranks=logical, inject=True, seed=seed, **kwargs)
+        base = run_once(logical_ranks=logical, inject=False, seed=seed, **kwargs)
+        overhead = (
+            (fault.wall_seconds - base.wall_seconds) / base.wall_seconds
+            if base.wall_seconds > 0
+            else 0.0
+        )
+        rows.append(
+            ChaosResult(
+                logical_ranks=logical,
+                rep_ranks=fault.rep_ranks,
+                nstaging_procs=fault.predata.nstaging_procs,
+                killed_node=fault.killed_node,
+                detection_seconds=fault.detection_seconds,
+                recovery_seconds=fault.recovery_seconds,
+                restarts=fault.restarts,
+                fetch_retries=fault.fetch_retries,
+                degraded_steps=fault.degraded_steps,
+                complete=fault.complete,
+                baseline_seconds=base.wall_seconds,
+                wall_seconds=fault.wall_seconds,
+                overhead_fraction=overhead,
+            )
+        )
+    return rows
+
+
+def main() -> None:
+    """Print the chaos-recovery series (one staging node killed mid-step)."""
+    rows = run_chaos()
+    table = [
+        [
+            r.logical_ranks,
+            r.nstaging_procs,
+            r.killed_node,
+            fmt_seconds(r.detection_seconds) if r.detection_seconds else "-",
+            fmt_seconds(r.recovery_seconds) if r.recovery_seconds else "-",
+            r.restarts,
+            r.fetch_retries,
+            "yes" if r.complete else "NO",
+            fmt_pct(r.overhead_fraction),
+        ]
+        for r in rows
+    ]
+    print(
+        format_table(
+            [
+                "logical ranks",
+                "stagers",
+                "killed node",
+                "detect",
+                "recover",
+                "restarts",
+                "retries",
+                "all steps readable",
+                "overhead",
+            ],
+            table,
+            title="Chaos: one staging node killed mid-step (seeded, deterministic)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,32 @@
+"""Deterministic fault injection + staging failure recovery.
+
+The resilience subsystem: seeded failure scenarios scheduled on the
+event engine (:class:`FaultInjector`), sim-time heartbeat liveness
+(:class:`FailureDetector`), and the staging recovery/degradation
+protocol (:class:`ResilienceController`), configured through
+:class:`ResilienceConfig` on :class:`~repro.core.staging.StagingConfig`.
+"""
+
+from repro.faults.config import ResilienceConfig
+from repro.faults.detector import FailureDetector
+from repro.faults.errors import (
+    FetchDropped,
+    FetchTimeout,
+    NoLiveStagers,
+    RecoveryRestart,
+)
+from repro.faults.injector import FaultInjector
+from repro.faults.recovery import ResilienceController
+from repro.machine.node import NodeFailure
+
+__all__ = [
+    "ResilienceConfig",
+    "FailureDetector",
+    "FaultInjector",
+    "ResilienceController",
+    "FetchDropped",
+    "FetchTimeout",
+    "NoLiveStagers",
+    "RecoveryRestart",
+    "NodeFailure",
+]

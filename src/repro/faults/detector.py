@@ -1,0 +1,92 @@
+"""Sim-time heartbeat failure detector for the staging area.
+
+Each watched staging rank runs a tiny *beat* process that stamps a
+liveness time while its node is up; a monitor process sweeps the stamps
+every ``interval`` and declares any rank silent for longer than
+``timeout`` dead, firing the registered callbacks once per rank.
+
+This mirrors the membership service a real staging deployment would run
+over its control channel: detection is *delayed* (roughly the timeout
+plus one sweep), so the pipeline observes a realistic window in which
+survivors block on collectives with a dead peer before recovery kicks
+in — that window is part of the measured recovery latency.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator
+
+__all__ = ["FailureDetector"]
+
+
+class FailureDetector:
+    """Heartbeat-based liveness monitor.
+
+    Parameters
+    ----------
+    env: simulation engine.
+    interval: heartbeat period and monitor sweep period.
+    timeout: silence threshold before a rank is declared failed.
+    """
+
+    def __init__(self, env, *, interval: float = 0.5, timeout: float = 2.0):
+        if interval <= 0 or timeout < interval:
+            raise ValueError("need 0 < interval <= timeout")
+        self.env = env
+        self.interval = interval
+        self.timeout = timeout
+        self._watched: dict[int, Callable[[], bool]] = {}
+        self.last_beat: dict[int, float] = {}
+        self.failed: set[int] = set()
+        self.detected_at: dict[int, float] = {}
+        self._callbacks: list[Callable[[list[int]], None]] = []
+        self._stopped = False
+        self._started = False
+
+    # -- wiring -----------------------------------------------------------
+    def watch(self, rank: int, alive_fn: Callable[[], bool]) -> None:
+        """Track *rank*; ``alive_fn()`` tells whether its node is up."""
+        self._watched[rank] = alive_fn
+        self.last_beat[rank] = self.env.now
+
+    def on_failure(self, callback: Callable[[list[int]], None]) -> None:
+        """Register ``callback(newly_failed_ranks)``."""
+        self._callbacks.append(callback)
+
+    def start(self) -> None:
+        """Spawn heartbeat + monitor processes (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        for rank in sorted(self._watched):
+            self.env.process(self._beat(rank), name=f"heartbeat[{rank}]")
+        self.env.process(self._monitor(), name="failure-monitor")
+
+    def stop(self) -> None:
+        """Wind down all detector processes at their next wake-up."""
+        self._stopped = True
+
+    # -- processes --------------------------------------------------------
+    def _beat(self, rank: int) -> Generator:
+        alive = self._watched[rank]
+        while not self._stopped and alive():
+            self.last_beat[rank] = self.env.now
+            yield self.env.timeout(self.interval)
+        return None
+
+    def _monitor(self) -> Generator:
+        while not self._stopped:
+            yield self.env.timeout(self.interval)
+            now = self.env.now
+            newly = [
+                r
+                for r in sorted(self._watched)
+                if r not in self.failed and now - self.last_beat[r] > self.timeout
+            ]
+            if newly:
+                self.failed.update(newly)
+                for r in newly:
+                    self.detected_at[r] = now
+                for cb in list(self._callbacks):
+                    cb(newly)
+        return None

@@ -1,0 +1,55 @@
+"""Failure signals exchanged between the fault/recovery layers.
+
+These are deliberately dependency-free so that ``repro.core`` and
+``repro.machine`` can both raise/catch them without import cycles.
+:class:`~repro.machine.node.NodeFailure` lives with the node model; it
+is re-exported from :mod:`repro.faults` for convenience.
+"""
+
+from __future__ import annotations
+
+__all__ = ["FetchDropped", "FetchTimeout", "RecoveryRestart", "NoLiveStagers"]
+
+
+class FetchDropped(RuntimeError):
+    """An RDMA fetch was dropped by fault injection (retryable)."""
+
+    def __init__(self, compute_rank: int, step: int, attempt: int):
+        super().__init__(
+            f"fetch of (compute {compute_rank}, step {step}) dropped "
+            f"on attempt {attempt}"
+        )
+        self.compute_rank = compute_rank
+        self.step = step
+        self.attempt = attempt
+
+
+class FetchTimeout(RuntimeError):
+    """A fetch exhausted its retry budget without completing."""
+
+    def __init__(self, compute_rank: int, step: int, attempts: int):
+        super().__init__(
+            f"fetch of (compute {compute_rank}, step {step}) failed "
+            f"after {attempts} attempts"
+        )
+        self.compute_rank = compute_rank
+        self.step = step
+        self.attempts = attempts
+
+
+class RecoveryRestart(Exception):
+    """Interrupt cause telling a surviving stager to re-run a step.
+
+    Carries the globally agreed restart step (the minimum uncommitted
+    step across survivors) so every survivor re-enters the pipeline in
+    lockstep with a fresh collective epoch.
+    """
+
+    def __init__(self, restart_step: int, epoch: int):
+        super().__init__(f"recovery: restart from step {restart_step} (epoch {epoch})")
+        self.restart_step = restart_step
+        self.epoch = epoch
+
+
+class NoLiveStagers(RuntimeError):
+    """Every staging rank has failed; staged writes are impossible."""

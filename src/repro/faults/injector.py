@@ -1,0 +1,203 @@
+"""Deterministic, seeded fault injection driven by the event engine.
+
+The :class:`FaultInjector` schedules failures against the machine model
+through the fault hooks added for resilience work:
+
+- ``crash_node`` / ``crash_staging_node`` -> :meth:`Node.fail`
+- ``degrade_link``                        -> :meth:`Network.degrade_link`
+- ``stall_filesystem``                    -> :meth:`ParallelFileSystem.stall_window`
+- ``drop_fetch`` / ``slow_fetch`` / ``random_fetch_faults``
+                                          -> the staging client's fetch hook
+
+Everything is driven either by explicit (time, target) plans or by a
+seeded ``numpy`` generator, so a fixed seed reproduces the exact same
+failure scenario event-for-event — the property the chaos benchmark
+asserts.  Constructing an injector with ``enabled=False`` turns every
+method into a no-op, guaranteeing bit-identical behaviour with a run
+that has no injector at all.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+import numpy as np
+
+__all__ = ["FaultInjector"]
+
+
+class FaultInjector:
+    """Schedules deterministic failures on a :class:`~repro.machine.machine.Machine`.
+
+    Parameters
+    ----------
+    env: simulation engine.
+    machine: machine model to break.
+    seed: seed for all randomised choices.
+    enabled: when False, every injection method is a no-op.
+    """
+
+    def __init__(self, env, machine, *, seed: int = 0, enabled: bool = True):
+        self.env = env
+        self.machine = machine
+        self.seed = seed
+        self.enabled = enabled
+        self.rng = np.random.default_rng(seed)
+        #: chronological record of faults actually fired: (kind, time, detail)
+        self.injected: list[tuple[str, float, object]] = []
+        # fetch fault plans: (compute_rank, step) -> list of per-attempt
+        # (mode, delay) entries; attempt indexes into the list.
+        self._fetch_plans: dict[tuple[int, int], list[tuple[str, float]]] = {}
+        self._random_fetch: Optional[dict] = None
+
+    # -- scheduling helpers ----------------------------------------------
+    def _at(self, at: float, fire) -> None:
+        """Run ``fire()`` at simulated time *at* (now if already past)."""
+
+        def body() -> Generator:
+            delay = max(0.0, at - self.env.now)
+            if delay > 0:
+                yield self.env.timeout(delay)
+            fire()
+            return None
+
+        self.env.process(body(), name=f"fault@{at:g}")
+
+    # -- node crashes -----------------------------------------------------
+    def crash_node(self, node_id: int, *, at: float) -> None:
+        """Kill machine node *node_id* at time *at*."""
+        if not self.enabled:
+            return
+
+        def fire() -> None:
+            node = self.machine.node(node_id)
+            if node.alive:
+                node.fail()
+                self.injected.append(("crash", self.env.now, node_id))
+
+        self._at(at, fire)
+
+    def crash_staging_node(self, *, at: float, index: Optional[int] = None) -> int:
+        """Kill one staging node at *at*; seeded-random when no index.
+
+        Returns the chosen node id (even when disabled, so experiment
+        code can report the plan).
+        """
+        ids = list(self.machine.staging_node_ids)
+        if not ids:
+            raise ValueError("machine has no staging nodes")
+        if index is None:
+            index = int(self.rng.integers(0, len(ids)))
+        node_id = ids[index % len(ids)]
+        self.crash_node(node_id, at=at)
+        return node_id
+
+    # -- link / filesystem degradation ------------------------------------
+    def degrade_link(
+        self, node_id: int, *, at: float, duration: float, factor: float
+    ) -> None:
+        """NIC of *node_id* runs at *factor* of peak during the window."""
+        if not self.enabled:
+            return
+        self.machine.network.degrade_link(node_id, at, at + duration, factor)
+        self.injected.append(("degrade_link", at, (node_id, duration, factor)))
+
+    def stall_filesystem(
+        self, *, at: float, duration: float, floor: float = 0.05
+    ) -> None:
+        """File system bandwidth clamped to *floor* of peak in the window."""
+        if not self.enabled:
+            return
+        self.machine.filesystem.stall_window(at, at + duration, floor)
+        self.injected.append(("fs_stall", at, (duration, floor)))
+
+    # -- fetch faults ------------------------------------------------------
+    def drop_fetch(
+        self, compute_rank: int, step: int, *, attempts: int = 1, delay: float = 0.0
+    ) -> None:
+        """Drop the first *attempts* fetch attempts of (rank, step).
+
+        ``delay`` models how long the puller waits before the transport
+        reports the descriptor failed.  Requires the resilient fetch
+        path (retry + timeout) to make progress afterwards.
+        """
+        if not self.enabled:
+            return
+        plan = self._fetch_plans.setdefault((compute_rank, step), [])
+        plan.extend([("drop", delay)] * attempts)
+
+    def slow_fetch(self, compute_rank: int, step: int, *, delay: float) -> None:
+        """Add *delay* seconds to the next fetch attempt of (rank, step)."""
+        if not self.enabled:
+            return
+        self._fetch_plans.setdefault((compute_rank, step), []).append(
+            ("slow", delay)
+        )
+
+    def random_fetch_faults(
+        self,
+        *,
+        drop_prob: float = 0.0,
+        slow_prob: float = 0.0,
+        slow_seconds: float = 0.5,
+        drop_delay: float = 0.0,
+    ) -> None:
+        """Seeded per-attempt random fetch faults (first attempt only).
+
+        Retries are never re-faulted, so a finite retry budget always
+        converges; determinism comes from the injector seed plus the
+        engine's deterministic event ordering.
+        """
+        if not self.enabled:
+            return
+        if drop_prob + slow_prob > 1.0:
+            raise ValueError("drop_prob + slow_prob must be <= 1")
+        self._random_fetch = {
+            "drop_prob": drop_prob,
+            "slow_prob": slow_prob,
+            "slow_seconds": slow_seconds,
+            "drop_delay": drop_delay,
+        }
+
+    def fetch_fault(
+        self, compute_rank: int, step: int, attempt: int
+    ) -> Optional[tuple[str, float]]:
+        """The hook installed on the staging client.
+
+        Returns ``None`` (no fault), ``("drop", delay)`` or
+        ``("slow", delay)`` for this fetch attempt.
+        """
+        if not self.enabled:
+            return None
+        plan = self._fetch_plans.get((compute_rank, step))
+        if plan and attempt < len(plan):
+            mode, delay = plan[attempt]
+            self.injected.append(
+                (f"fetch_{mode}", self.env.now, (compute_rank, step, attempt))
+            )
+            return (mode, delay)
+        if self._random_fetch and attempt == 0:
+            rf = self._random_fetch
+            u = float(self.rng.random())
+            if u < rf["drop_prob"]:
+                self.injected.append(
+                    ("fetch_drop", self.env.now, (compute_rank, step, attempt))
+                )
+                return ("drop", rf["drop_delay"])
+            if u < rf["drop_prob"] + rf["slow_prob"]:
+                self.injected.append(
+                    ("fetch_slow", self.env.now, (compute_rank, step, attempt))
+                )
+                return ("slow", rf["slow_seconds"])
+        return None
+
+    def arm(self, client) -> None:
+        """Install the fetch-fault hook on a :class:`StagingClient`."""
+        if self.enabled:
+            client.fault_hook = self.fetch_fault
+
+    def __repr__(self) -> str:
+        return (
+            f"FaultInjector(seed={self.seed}, enabled={self.enabled}, "
+            f"fired={len(self.injected)})"
+        )

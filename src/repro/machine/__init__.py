@@ -22,7 +22,7 @@ paper ran on.  It provides:
 from repro.machine.filesystem import FileSystemConfig, ParallelFileSystem
 from repro.machine.machine import Machine
 from repro.machine.network import Network, NetworkConfig
-from repro.machine.node import MemoryError_, Node, NodeConfig
+from repro.machine.node import MemoryError_, Node, NodeConfig, NodeFailure
 from repro.machine.presets import JAGUAR_XT4, JAGUAR_XT5, MachineSpec, TESTING_TINY
 from repro.machine.topology import TorusTopology
 
@@ -37,6 +37,7 @@ __all__ = [
     "NetworkConfig",
     "Node",
     "NodeConfig",
+    "NodeFailure",
     "ParallelFileSystem",
     "TESTING_TINY",
     "TorusTopology",

@@ -85,16 +85,38 @@ class ParallelFileSystem:
         self._interval = interference_interval
         self._cached_mult = 1.0
         self._cached_slot = -1
-        degradation = self._degradation if interference else None
+        #: fault-injection hook: [(start, end, floor), ...] stall windows
+        self._stall_windows: list[tuple[float, float, float]] = []
         self.pipe = SharedBandwidth(
-            env, self.config.aggregate_bandwidth, degradation=degradation
+            env, self.config.aggregate_bandwidth, degradation=self._degradation
         )
         self.bytes_written = 0.0
         self.bytes_read = 0.0
         self.metadata_ops = 0
 
+    # -- fault hooks ---------------------------------------------------------
+    def stall_window(self, start: float, end: float, floor: float = 0.05) -> None:
+        """Clamp bandwidth to ``floor`` of peak during [start, end).
+
+        Deterministic fault-injection hook modelling an OST hiccup /
+        metadata-server stall; composes with (and dominates) the normal
+        interference model while active.
+        """
+        if not 0.0 < floor <= 1.0:
+            raise ValueError("stall floor must be in (0, 1]")
+        if end <= start:
+            raise ValueError("stall window must have end > start")
+        self._stall_windows.append((start, end, floor))
+
+    def _stall_mult(self, now: float) -> float:
+        mult = 1.0
+        for start, end, floor in self._stall_windows:
+            if start <= now < end:
+                mult = min(mult, floor)
+        return mult
+
     # -- interference --------------------------------------------------------
-    def _degradation(self, now: float) -> float:
+    def _interference_mult(self, now: float) -> float:
         """Piecewise-constant seeded bandwidth multiplier in (0, 1]."""
         slot = int(now / self._interval)
         if slot != self._cached_slot:
@@ -107,6 +129,13 @@ class ParallelFileSystem:
             )
             self._cached_mult = float(np.clip(1.0 - load, 0.05, 1.0))
         return self._cached_mult
+
+    def _degradation(self, now: float) -> float:
+        """Combined multiplier: background interference x stall windows."""
+        mult = self._interference_mult(now) if self._interference else 1.0
+        if self._stall_windows:
+            mult = min(mult, self._stall_mult(now))
+        return mult
 
     # -- helpers ---------------------------------------------------------------
     def _stream_rate_cap(self, nclients: int, stripes: int) -> float:
@@ -140,8 +169,7 @@ class ParallelFileSystem:
             if nbytes / max(nclients, 1) < self.config.small_write_threshold:
                 # small writes never reach streaming rates
                 per_client = min(
-                    self.config.small_write_bandwidth
-                    * (self._degradation(self.env.now) if self._interference else 1.0),
+                    self.config.small_write_bandwidth * self._degradation(self.env.now),
                     cap / max(nclients, 1),
                 )
                 cap = per_client * nclients

@@ -97,15 +97,49 @@ class Network:
         #: by how far they travel relative to the machine's average.
         self.backbone = SharedBandwidth(env, bis_rate)
         self._avg_hops = max(topology.average_hops(), 1e-9)
+        #: fault-injection hook: node -> [(start, end, factor), ...]
+        self._degrade_windows: dict[int, list[tuple[float, float, float]]] = {}
+
+    # -- fault hooks -------------------------------------------------------
+    def degrade_link(
+        self, node: int, start: float, end: float, factor: float
+    ) -> None:
+        """Multiply *node*'s NIC capacity by *factor* during [start, end).
+
+        Deterministic fault-injection hook: a flaky link or congested
+        router port.  Windows compose multiplicatively when they overlap.
+        """
+        if not 0.0 < factor <= 1.0:
+            raise ValueError("degradation factor must be in (0, 1]")
+        if end <= start:
+            raise ValueError("degradation window must have end > start")
+        self._degrade_windows.setdefault(node, []).append((start, end, factor))
+
+    def _link_mult(self, node: int, now: float) -> float:
+        windows = self._degrade_windows.get(node)
+        if not windows:
+            return 1.0
+        mult = 1.0
+        for start, end, factor in windows:
+            if start <= now < end:
+                mult *= factor
+        return mult
 
     # -- NIC management ---------------------------------------------------
     def nic(self, node: int) -> NIC:
         """Lazily-created NIC of *node*."""
         entry = self._nics.get(node)
         if entry is None:
+            def mult(now: float, _n: int = node) -> float:
+                return self._link_mult(_n, now)
+
             entry = NIC(
-                tx=SharedBandwidth(self.env, self.config.link_bandwidth),
-                rx=SharedBandwidth(self.env, self.config.link_bandwidth),
+                tx=SharedBandwidth(
+                    self.env, self.config.link_bandwidth, degradation=mult
+                ),
+                rx=SharedBandwidth(
+                    self.env, self.config.link_bandwidth, degradation=mult
+                ),
             )
             self._nics[node] = entry
         return entry

@@ -19,7 +19,7 @@ from typing import Generator, Optional
 from repro.sim.engine import Engine
 from repro.sim.resources import Resource
 
-__all__ = ["NodeConfig", "Node", "MemoryError_"]
+__all__ = ["NodeConfig", "Node", "MemoryError_", "NodeFailure"]
 
 
 class MemoryError_(RuntimeError):
@@ -27,6 +27,19 @@ class MemoryError_(RuntimeError):
 
     Named with a trailing underscore to avoid shadowing the builtin.
     """
+
+
+class NodeFailure(RuntimeError):
+    """A node crashed (fault injection).
+
+    Raised when work is submitted to a dead node, and used as the
+    interrupt *cause* when processes running on a crashing node are
+    killed by the resilience controller.
+    """
+
+    def __init__(self, node_id: int):
+        super().__init__(f"node {node_id} has failed")
+        self.node_id = node_id
 
 
 @dataclass(frozen=True)
@@ -75,6 +88,28 @@ class Node:
         self._mem_used = 0.0
         self._mem_high_water = 0.0
         self.busy_seconds = 0.0  # accumulated core-seconds of work
+        self.alive = True
+        self.failed_at: Optional[float] = None
+        self._failure_listeners: list = []
+
+    # -- failure ----------------------------------------------------------
+    def add_failure_listener(self, callback) -> None:
+        """Register ``callback(node)`` to run when :meth:`fail` fires."""
+        self._failure_listeners.append(callback)
+
+    def fail(self) -> None:
+        """Kill this node (fault injection hook).
+
+        Marks the node dead, records the crash time, and invokes the
+        registered failure listeners (e.g. the resilience controller,
+        which interrupts staging processes hosted here).  Idempotent.
+        """
+        if not self.alive:
+            return
+        self.alive = False
+        self.failed_at = self.env.now
+        for cb in list(self._failure_listeners):
+            cb(self)
 
     # -- memory -----------------------------------------------------------
     @property
@@ -131,10 +166,18 @@ class Node:
         The core grant is atomic (all-or-nothing), so concurrent
         multi-core jobs on one node queue instead of deadlocking.
         """
+        if not self.alive:
+            raise NodeFailure(self.id)
         duration = self.compute_time(flops, cores=cores)
         cores = min(cores, self.config.cores)
         req = self.cores.request(cores)
-        yield req
+        try:
+            yield req
+        except BaseException:
+            # Interrupted while queued (or just granted): withdraw the
+            # request so abandoned grants cannot leak core capacity.
+            self.cores.cancel(req, cores)
+            raise
         try:
             yield self.env.timeout(duration)
             self.busy_seconds += duration * cores

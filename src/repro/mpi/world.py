@@ -26,13 +26,14 @@ __all__ = ["World"]
 class _CollectiveState:
     """Matching state for one collective sequence index."""
 
-    __slots__ = ("kind", "payloads", "kwargs", "done")
+    __slots__ = ("kind", "payloads", "kwargs", "done", "started")
 
     def __init__(self, kind: str, kwargs: dict, done: Event):
         self.kind = kind
         self.payloads: dict[int, Any] = {}
         self.kwargs = kwargs
         self.done = done
+        self.started = False
 
 
 class World:
@@ -88,11 +89,48 @@ class World:
         self._collectives: dict[int, _CollectiveState] = {}
         self._comms = [Communicator(self, r) for r in range(len(rank_nodes))]
         self._procs: list = []
+        self._active: set[int] = set(range(len(rank_nodes)))
 
     # -- structure ---------------------------------------------------------
     @property
     def size(self) -> int:
         return len(self.rank_nodes)
+
+    @property
+    def active_ranks(self) -> list[int]:
+        """Ranks not deactivated by failure, in rank order."""
+        return sorted(self._active)
+
+    def is_active(self, rank: int) -> bool:
+        """Whether *rank* still participates in collectives."""
+        return rank in self._active
+
+    # -- failure support ----------------------------------------------------
+    def deactivate_rank(self, rank: int) -> None:
+        """Remove *rank* from collective matching (its node died).
+
+        Pending collectives that were only waiting on deactivated ranks
+        complete among the survivors, so a crash cannot deadlock the
+        world.  Payloads already contributed by the dead rank are
+        discarded from the functional result (its data is lost).
+        """
+        if rank not in self._active:
+            return
+        self._active.discard(rank)
+        for seq, state in list(self._collectives.items()):
+            self._maybe_complete(seq, state)
+
+    def reset_collectives(self) -> None:
+        """Drop all pending collective state and restart sequencing.
+
+        Recovery hook: after a failure is detected, surviving staging
+        ranks are interrupted mid-step and re-run it from the top, so
+        every in-flight collective is abandoned and all ranks must agree
+        on a fresh sequence numbering (a new 'epoch').
+        """
+        self._collectives.clear()
+        for c in self._comms:
+            c._coll_seq = 0
 
     def comm(self, rank: int) -> Communicator:
         """The :class:`Communicator` endpoint of *rank*."""
@@ -154,24 +192,31 @@ class World:
                 f"rank {rank} called collective seq {seq} twice"
             )
         state.payloads[rank] = payload
-        if len(state.payloads) == self.size:
-            # Last arrival drives the exchange.
-            self.env.process(
-                self._complete_collective(seq, state),
-                name=f"{self.name}.{kind}#{seq}",
-            )
+        self._maybe_complete(seq, state)
         results = yield state.done
         return results[rank]
+
+    def _maybe_complete(self, seq: int, state: _CollectiveState) -> None:
+        """Spawn the exchange once every *active* rank has arrived."""
+        if state.started or not state.payloads or not self._active:
+            return
+        if self._active <= state.payloads.keys():
+            state.started = True
+            self.env.process(
+                self._complete_collective(seq, state),
+                name=f"{self.name}.{state.kind}#{seq}",
+            )
 
     def _complete_collective(self, seq: int, state: _CollectiveState) -> Generator:
         kind, payloads, kwargs = state.kind, state.payloads, state.kwargs
         per_rank_bytes = self._wire_bytes(
             kind, payloads, kwargs.get("wire_scale")
         )
-        if self.contended and self.size > 1 and kind != "barrier":
+        contributors = sorted(r for r in payloads if r in self._active)
+        if self.contended and len(contributors) > 1 and kind != "barrier":
             yield from self.network.contended_collective(
                 _model_kind(kind),
-                self.rank_nodes,
+                [self.rank_nodes[r] for r in contributors],
                 per_rank_bytes,
                 model_nprocs=self.model_size,
             )
@@ -181,7 +226,12 @@ class World:
                     _model_kind(kind), self.model_size, per_rank_bytes
                 )
             )
-        del self._collectives[seq]
+        # Identity-guarded: reset_collectives() may have replaced this
+        # seq slot with a fresh epoch while the exchange was in flight.
+        if self._collectives.get(seq) is state:
+            del self._collectives[seq]
+        if state.done.triggered:
+            return
         try:
             results = self._apply(kind, payloads, kwargs)
         except Exception as exc:
@@ -193,8 +243,11 @@ class World:
 
     # -- functional semantics ------------------------------------------------------
     def _apply(self, kind: str, payloads: dict[int, Any], kwargs: dict) -> dict:
-        p = self.size
-        ranks = range(p)
+        # Results are computed over the *active* contributors only, so a
+        # collective completed after a failure yields survivor-only data.
+        # With no failures this is exactly range(size).
+        ranks = sorted(r for r in payloads if r in self._active)
+        p = len(ranks)
         if kind == "barrier":
             return {r: None for r in ranks}
         if kind == "bcast":
@@ -223,7 +276,7 @@ class World:
                     f"scatter root must supply {p} values, got "
                     f"{None if values is None else len(values)}"
                 )
-            return {r: values[r] for r in ranks}
+            return {r: values[i] for i, r in enumerate(ranks)}
         if kind == "alltoall":
             return {
                 r: [payloads[src][r] for src in ranks] for r in ranks

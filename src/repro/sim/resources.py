@@ -94,6 +94,21 @@ class Resource:
             self._in_use += need
             ev.succeed()
 
+    def cancel(self, ev: Event, n: int = 1) -> None:
+        """Withdraw a pending or granted request (interrupted holder).
+
+        If *ev* is still queued it is removed; if the grant already went
+        through, the units are released.  Needed when a process waiting
+        on a grant is interrupted (e.g. a staging-node crash), so the
+        abandoned request cannot leak capacity.
+        """
+        for i, (wev, _need) in enumerate(self._waiters):
+            if wev is ev:
+                del self._waiters[i]
+                return
+        if ev.triggered:
+            self.release(n)
+
     def use(self, duration: float, n: int = 1) -> Generator:
         """Convenience process body: acquire, hold *duration*, release."""
         req = self.request(n)
@@ -185,6 +200,37 @@ class Mailbox:
         ev = self.env.event()
         self._receivers.append((source, tag, ev))
         return ev
+
+    def cancel(self, ev: Event) -> None:
+        """Withdraw a pending ``receive``.
+
+        A process interrupted while blocked on a mailbox must withdraw
+        its receiver, otherwise the stale entry would silently consume
+        (and lose) the next matching message.
+        """
+        for i, (_src, _tag, rev) in enumerate(self._receivers):
+            if rev is ev:
+                del self._receivers[i]
+                return
+
+    def purge(self, source: Any = ANY, tag: Any = ANY) -> list[tuple[Any, Any, Any]]:
+        """Remove and return all queued messages matching source/tag.
+
+        Used by the recovery protocol to flush requests addressed to a
+        staging rank that died before serving them; the controller then
+        re-delivers them to the failover target.
+        """
+        kept: Deque[tuple[Any, Any, Any]] = deque()
+        removed = []
+        for msrc, mtag, payload in self._messages:
+            if (source is Mailbox.ANY or msrc == source) and (
+                tag is Mailbox.ANY or mtag == tag
+            ):
+                removed.append((msrc, mtag, payload))
+            else:
+                kept.append((msrc, mtag, payload))
+        self._messages = kept
+        return removed
 
     @property
     def pending(self) -> int:

@@ -1,0 +1,191 @@
+"""Recovery-protocol tests: drain timeout, failover, commit, retries."""
+
+import numpy as np
+import pytest
+
+from tests.helpers import FIELD_GROUP, field_step
+from repro.adios import BPWriter
+from repro.core import DrainTimeout, PreDatA
+from repro.experiments.chaos import run_once
+from repro.faults import FaultInjector, NoLiveStagers, ResilienceConfig
+from repro.machine import Machine, TESTING_TINY
+from repro.mpi import World
+from repro.operators import ArrayMergeOperator
+from repro.sim import Engine
+
+
+def _resilient_pipeline(
+    *,
+    nprocs=4,
+    nstaging_nodes=2,
+    nsteps=2,
+    local_n=4,
+    scale=200.0,
+    io_interval=1.0,
+    resilience=None,
+    start_app=True,
+):
+    eng = Engine()
+    machine = Machine(eng, nprocs, nstaging_nodes, spec=TESTING_TINY)
+    writer = BPWriter("merged.bp", FIELD_GROUP)
+    op = ArrayMergeOperator(["rho"], out_group=FIELD_GROUP, writer=writer)
+    predata = PreDatA(
+        eng,
+        machine,
+        FIELD_GROUP,
+        [op],
+        ncompute_procs=nprocs,
+        nsteps=nsteps,
+        volume_scale=scale,
+        resilience=resilience or ResilienceConfig(),
+    )
+    predata.start()
+    app = World(
+        eng,
+        machine.network,
+        list(range(nprocs)),
+        name="app",
+        node_lookup=machine.node,
+        wire_scale=scale,
+    )
+
+    def app_main(comm):
+        for s in range(nsteps):
+            step = field_step(comm.rank, nprocs, local_n, step=s, scale=scale)
+            yield from predata.transport.write_step(comm, step)
+            yield from comm.sleep(io_interval)
+
+    if start_app:
+        app.spawn(app_main)
+    return eng, machine, predata, writer
+
+
+# ------------------------------------------------- drain with a timeout
+def test_drain_timeout_names_the_undrained_steps():
+    eng, _machine, predata, _w = _resilient_pipeline(start_app=False)
+    proc = eng.process(predata.drain(timeout=5.0))
+    with pytest.raises(DrainTimeout) as err:
+        eng.run_until_process(proc)
+    msg = str(err.value)
+    assert "timed out after 5" in msg
+    assert "step 0: waiting on staging ranks [0, 1, 2, 3]" in msg
+    assert "step 1" in msg
+
+
+def test_drain_with_timeout_completes_normally():
+    eng, _machine, predata, _w = _resilient_pipeline()
+    proc = eng.process(predata.drain(timeout=1000.0))
+    eng.run_until_process(proc)  # must not raise
+    assert sorted(predata.service.commit_times) == [0, 1]
+
+
+def test_drain_timeout_validation_and_errors():
+    eng, _machine, predata, _w = _resilient_pipeline(start_app=False)
+    fresh = PreDatA.__new__(PreDatA)  # drain before start is an error
+    fresh.service = predata.service.__class__.__new__(predata.service.__class__)
+    fresh.service._procs = []
+    with pytest.raises(RuntimeError):
+        next(iter(fresh.service.drain()))
+
+
+# ----------------------------------------------------- failover routing
+def test_failover_routing_is_deterministic_and_total():
+    _eng, _machine, predata, _w = _resilient_pipeline(
+        nprocs=4, nstaging_nodes=2, start_app=False
+    )
+    client = predata.client
+    assert client.nstaging == 4
+    before = [client.route(r) for r in range(4)]
+    assert before == [0, 1, 2, 3]
+    client.mark_stager_failed(1)
+    after = [client.route(r) for r in range(4)]
+    assert after == [client.route(r) for r in range(4)]  # stable
+    assert 1 not in after
+    assert client.alive_stagers == [0, 2, 3]
+    # survivors partition the compute ranks exactly
+    owned = [c for s in client.alive_stagers for c in client.compute_ranks_of(s)]
+    assert sorted(owned) == [0, 1, 2, 3]
+    for s in (0, 2, 3):
+        client.mark_stager_failed(s)
+    assert not client.has_live_stagers
+    with pytest.raises(NoLiveStagers):
+        client.route(0)
+
+
+# ------------------------------------------------ commit-barrier lifecycle
+def test_buffers_release_only_at_commit():
+    eng, _machine, predata, _w = _resilient_pipeline(nsteps=2)
+    eng.run()
+    # every step committed in lockstep, every buffer released
+    assert sorted(predata.service.commit_times) == [0, 1]
+    assert predata.client.outstanding_buffers == 0
+    assert predata.client._requests_log == {}
+    assert predata.service.restarts == 0
+
+
+# ----------------------------------------------------- fetch retry path
+def test_dropped_fetches_are_retried_until_success():
+    eng, machine, predata, writer = _resilient_pipeline(
+        resilience=ResilienceConfig(
+            fetch_timeout=5.0, fetch_retry_backoff=0.01, fetch_max_attempts=4
+        )
+    )
+    inj = FaultInjector(eng, machine, seed=0)
+    inj.arm(predata.client)
+    inj.drop_fetch(0, 0, attempts=2, delay=0.01)
+    inj.slow_fetch(1, 1, delay=0.2)
+    eng.run()
+    assert predata.service.fetch_retries >= 2
+    assert sorted(predata.service.commit_times) == [0, 1]
+    merged = writer.close()
+    for s in (0, 1):
+        arr = merged.read_global_array("rho", s)
+        assert arr.shape == (16, 4, 4)
+    kinds = [k for k, _, _ in inj.injected]
+    assert kinds.count("fetch_drop") == 2 and "fetch_slow" in kinds
+
+
+# ------------------------------------------- end-to-end crash recovery
+def test_staging_crash_recovers_with_zero_loss():
+    r = run_once(
+        logical_ranks=64,
+        rep_ranks=4,
+        nsteps=3,
+        local_n=4,
+        per_logical_rank_mb=0.25,
+        seed=3,
+    )
+    assert r.complete, f"missing steps: {r.missing_steps}"
+    assert r.restarts >= 1
+    assert r.detection_seconds is not None and r.detection_seconds > 0
+    # the interrupted step was re-executed and committed after the crash
+    assert r.recovery_seconds is not None and r.recovery_seconds > 0
+    # survivors took over the dead node's compute clients
+    assert not r.predata.client.has_live_stagers or r.predata.client.alive_stagers
+    assert all(
+        s in r.predata.service.commit_times for s in range(r.nsteps)
+    )
+
+
+def test_all_stagers_dead_degrades_and_salvages():
+    # 4 steps so at least one dump happens *after* detection flips the
+    # client into degraded mode (detection takes ~heartbeat timeout)
+    r = run_once(
+        logical_ranks=64,
+        rep_ranks=4,
+        nsteps=4,
+        local_n=4,
+        per_logical_rank_mb=0.25,
+        nstaging_nodes=1,
+        seed=3,
+    )
+    assert r.complete, f"missing steps: {r.missing_steps}"
+    assert r.predata.client.degraded
+    assert r.degraded_steps > 0  # later dumps went through the fallback
+    assert r.fallback_file is not None
+    # salvaged + degraded steps really live in the fallback BP file
+    fb_steps = r.fallback_file.steps()
+    assert fb_steps, "fallback file is empty"
+    for s in fb_steps:
+        arr = r.fallback_file.read_global_array("rho", s)
+        assert np.isfinite(arr).all()
