@@ -29,6 +29,7 @@ __all__ = [
     "ffs",
     "machine",
     "mpi",
+    "obs",
     "operators",
     "query",
     "sim",

@@ -10,6 +10,11 @@ Commands map to the experiment harness:
 - ``fig11``          — merged vs unmerged reads
 - ``headline``       — §V prose numbers, paper vs measured
 - ``utilization``    — staging-node headroom between dumps
+- ``chaos``          — staging-node crash recovery (resilience)
+
+``fig7``, ``headline`` and ``chaos`` accept ``--trace [PATH]`` to dump
+a Chrome ``trace_event`` file (viewable in https://ui.perfetto.dev), a
+``.jsonl`` span sidecar and a metrics summary table.
 """
 
 from __future__ import annotations
@@ -27,12 +32,20 @@ def main(argv=None) -> int:
     parser.add_argument(
         "command",
         choices=["run-all", "fig7", "fig8", "fig9", "fig10", "fig11",
-                 "headline", "utilization"],
+                 "headline", "utilization", "chaos"],
         help="experiment to run",
     )
     parser.add_argument("--fast", action="store_true",
                         help="trimmed simulated runs")
+    parser.add_argument(
+        "--trace", nargs="?", const="", default=None, metavar="PATH",
+        help="(fig7/headline/chaos) write a Chrome trace + metrics "
+             "summary; PATH defaults to <command>_trace.json",
+    )
     args = parser.parse_args(argv)
+    trace = None
+    if args.trace is not None:
+        trace = args.trace or f"{args.command}_trace.json"
 
     fast_fig7 = dict(ndumps=1, iterations_per_dump=2,
                      compute_seconds_per_iteration=10.0)
@@ -46,7 +59,7 @@ def main(argv=None) -> int:
     elif args.command == "fig7":
         from repro.experiments import fig7
 
-        fig7.main(**(fast_fig7 if args.fast else {}))
+        fig7.main(trace=trace, **(fast_fig7 if args.fast else {}))
     elif args.command == "fig8":
         from repro.experiments import fig8
 
@@ -66,11 +79,15 @@ def main(argv=None) -> int:
     elif args.command == "headline":
         from repro.experiments import headline
 
-        headline.main(fast=args.fast)
+        headline.main(trace=trace, fast=args.fast)
     elif args.command == "utilization":
         from repro.experiments import utilization
 
         utilization.main()
+    elif args.command == "chaos":
+        from repro.experiments import chaos
+
+        chaos.main(trace=trace)
     return 0
 
 

@@ -209,6 +209,8 @@ class StagingClient:
         Returns the visible (blocking) seconds.
         """
         env = self.env
+        obs = env.obs
+        tid = f"compute{comm.rank}"
         start = env.now
         node = self.machine.node(comm.node_id)
 
@@ -219,6 +221,8 @@ class StagingClient:
         while len(pending) >= self.max_buffered_steps:
             yield pending[0]
             pending[:] = [ev for ev in pending if not ev.triggered]
+        if obs is not None and env.now > start:
+            obs.span("backpressure", "compute", start, tid=tid, step=step.step)
 
         # Stage 1a: Partial_calculate for each operator.
         partials: dict[str, Any] = {}
@@ -233,12 +237,20 @@ class StagingClient:
         self.partial_calc_seconds[comm.rank] = (
             self.partial_calc_seconds.get(comm.rank, 0.0) + env.now - t0
         )
+        if obs is not None:
+            obs.span("partial_calculate", "compute", t0, tid=tid, step=step.step)
 
         # Stage 1b: pack into a contiguous FFS buffer (memcpy-bound).
+        t_pack = env.now
         payload = step.pack()
         pack_time = 2.0 * node.memory_scan_time(step.nbytes_logical)
         if pack_time > 0:
             yield env.timeout(pack_time)
+        if obs is not None:
+            obs.span(
+                "pack", "compute", t_pack, tid=tid, step=step.step,
+                nbytes=step.nbytes_logical,
+            )
         node.allocate(step.nbytes_logical)
         freed = env.event()
         self._buffers[(comm.rank, step.step)] = _BufferRecord(
@@ -261,6 +273,7 @@ class StagingClient:
         if self.resilient:
             self._requests_log[(comm.rank, step.step)] = request
         if self.has_live_stagers:
+            t_req = env.now
             target = self.route(comm.rank)
             yield from self.machine.network.transfer(
                 comm.node_id,
@@ -271,6 +284,11 @@ class StagingClient:
                 # the target may have died during the wire delay
                 target = self.route(comm.rank)
             self.request_box(target).deliver(comm.rank, step.step, request)
+            if obs is not None:
+                obs.span(
+                    "request", "compute", t_req, tid=tid,
+                    step=step.step, target=target,
+                )
         elif self._orphan_sink is not None:
             # Last stager died mid-write: hand the buffer straight to
             # the controller's fallback replay so the dump still lands.
@@ -371,6 +389,13 @@ class StagingTransport(IOMethod):
             if self.client.has_live_stagers:
                 yield from self.client.skip_step(comm, step.step)
             self.degraded_steps += 1
+            obs = comm.env.obs
+            if obs is not None:
+                obs.metrics.inc("degraded_steps", rank=comm.rank)
+                obs.instant(
+                    "degraded_write", "recovery",
+                    tid=f"compute{comm.rank}", step=step.step,
+                )
             t = comm.env.now - start
             self.visible_write_seconds += t
             return t

@@ -104,6 +104,13 @@ class OperatorContext:
     threads: worker threads available to this process (§V.B: staging
         runs 4 worker threads per MPI process).
     placement: ``"staging"`` or ``"compute"``.
+    obs:
+        The run's :class:`repro.obs.Observability` sink, or ``None``
+        when observability is disabled (the default).  Operators with
+        interesting internal state may record custom metrics::
+
+            if ctx.obs is not None:
+                ctx.obs.metrics.inc("my_metric", n, op=self.name)
     """
 
     rank: int
@@ -116,6 +123,8 @@ class OperatorContext:
     #: logical-to-functional volume ratio of the chunks seen this step;
     #: set by the runtime once the first chunk is unpacked.
     volume_scale: float = 1.0
+    #: observability sink (None = disabled); see class docstring.
+    obs: Any = None
 
 
 class PreDatAOperator:

@@ -92,4 +92,12 @@ class MovementScheduler:
                 break  # anti-starvation: proceed despite the phase
         deferred = self.env.now - start
         self.total_defer_seconds += deferred
+        obs = self.env.obs
+        if obs is not None and deferred > 0:
+            obs.span(
+                "scheduler_defer", "scheduler", start,
+                tid=f"node{node_id}", node=node_id,
+            )
+            obs.metrics.inc("scheduler_defers", node=node_id)
+            obs.metrics.inc("scheduler_defer_seconds", deferred, node=node_id)
         return deferred

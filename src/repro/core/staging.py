@@ -220,6 +220,8 @@ class StagingService:
                     return  # this rank's node died; exit quietly
                 if isinstance(cause, RecoveryRestart):
                     self.restarts += 1
+                    if self.env.obs is not None:
+                        self.env.obs.metrics.inc("step_restarts", stage=comm.rank)
                     step = cause.restart_step
                     continue
                 raise
@@ -239,8 +241,19 @@ class StagingService:
         if node is not None and alloc > 0:
             node.free(alloc)
 
+    @staticmethod
+    def _rows_of(values: list[Any]) -> int:
+        """Row count of a reduce bucket (non-array values count as 1)."""
+        total = 0
+        for v in values:
+            shape = getattr(v, "shape", None)
+            total += int(shape[0]) if shape else 1
+        return total
+
     def _run_step(self, comm: Communicator, step: int):
         env = self.env
+        obs = env.obs
+        tid = f"stage{comm.rank}"
         node = comm.node
         threads = self.config.threads_per_process
         resilience = self.config.resilience
@@ -289,6 +302,11 @@ class StagingService:
         report.t_dump_start = (
             min(r.t_dump_start for r in requests) if requests else env.now
         )
+        if obs is not None and t_first is not None:
+            obs.span(
+                "gather_requests", "pipeline", t_first, tid=tid,
+                step=step, nrequests=len(requests),
+            )
         volume_scale = 1.0
 
         # -- 2. aggregate partial results ----------------------------------
@@ -311,12 +329,16 @@ class StagingService:
             ]
             aggregated[op.name] = op.aggregate(flat) if flat else None
         report.aggregate = env.now - t0
+        if obs is not None:
+            obs.span("aggregate", "pipeline", t0, tid=tid, step=step)
 
         # A fully-skipped step (every compute process dumped elsewhere)
         # runs no operator phases — agreed globally via the allgather
         # so every staging rank stays in collective lockstep.
         if sum(d["n"] for d in gathered) == 0:
             report.latency = env.now - report.t_dump_start
+            if obs is not None:
+                obs.instant("step_skipped", "pipeline", tid=tid, step=step)
             self.rank_reports.setdefault(step, {})[comm.rank] = report
             for listener in self._step_listeners:
                 listener(step, comm.rank)
@@ -337,6 +359,7 @@ class StagingService:
                 aggregated=aggregated[op.name],
                 threads=threads,
                 placement="staging",
+                obs=obs,
             )
             ctxs[op.name] = ctx
             op.initialize(ctx)
@@ -367,6 +390,15 @@ class StagingService:
                 else:
                     payload = yield from self._fetch_with_retry(req, step, comm)
                 fetch_clock["busy"] += env.now - t_f
+                if obs is not None:
+                    obs.span(
+                        "fetch", "pipeline", t_f, tid=tid, step=step,
+                        compute_rank=req.compute_rank,
+                        nbytes=req.logical_nbytes,
+                    )
+                    obs.metrics.inc(
+                        "bytes_fetched", req.logical_nbytes, stage=comm.rank
+                    )
                 if node is not None:
                     node.allocate(req.logical_nbytes)
                     inflight["alloc"] += req.logical_nbytes
@@ -393,6 +425,11 @@ class StagingService:
                     yield from node.compute(flops, cores=threads)
                 emits[op.name].extend(op.map(ctxs[op.name], step_obj))
             map_busy += env.now - t_m
+            if obs is not None:
+                obs.span(
+                    "map", "pipeline", t_m, tid=tid, step=step,
+                    compute_rank=req.compute_rank,
+                )
             if node is not None:
                 node.free(req.logical_nbytes)
                 inflight["alloc"] -= req.logical_nbytes
@@ -413,6 +450,12 @@ class StagingService:
             cflops = op.combine_flops(ctx, items)
             if cflops > 0 and node is not None:
                 yield from node.compute(cflops, cores=threads)
+            t_shuffle = env.now
+            if obs is not None:
+                obs.span(
+                    "combine", "pipeline", t0, end=t_shuffle, tid=tid,
+                    step=step, op=op.name, items=len(items),
+                )
             outbound: list[list[Emit]] = [[] for _ in range(comm.size)]
             for e in items:
                 # partition() indexes workers; map onto surviving ranks
@@ -431,12 +474,31 @@ class StagingService:
                 sum(e.nbytes for row in outbound for e in row) * eff_scale
             )
             report.shuffle += env.now - t0
+            if obs is not None:
+                obs.span(
+                    "shuffle", "pipeline", t_shuffle, tid=tid,
+                    step=step, op=op.name,
+                )
+                # per (sender, reducer) wire volume — the skew that
+                # collapses a sort onto one reducer shows up here.
+                for dst, row in enumerate(outbound):
+                    if row:
+                        obs.metrics.inc(
+                            "shuffle_bytes",
+                            sum(e.nbytes for e in row) * eff_scale,
+                            op=op.name, src=comm.rank, dst=dst,
+                        )
 
             # -- 6. reduce ------------------------------------------------------
             t0 = env.now
             groups: dict[Hashable, list[Any]] = {}
             for e in inbound:
                 groups.setdefault(e.tag, []).append(e.value)
+            if obs is not None:
+                # materialise the series even for empty reducers, so a
+                # skewed key distribution reads as one huge row count
+                # next to a column of zeros.
+                obs.metrics.inc("bucket_rows", 0.0, op=op.name, reducer=comm.rank)
             reduced: dict[Hashable, Any] = {}
             for tag, values in groups.items():
                 rflops = op.reduce_flops(ctx, tag, values)
@@ -448,7 +510,20 @@ class StagingService:
                 out = op.reduce(ctx, tag, values)
                 if out is not None:
                     reduced[tag] = out
+                if obs is not None:
+                    rows = self._rows_of(values)
+                    obs.metrics.inc(
+                        "bucket_rows", rows, op=op.name, reducer=comm.rank
+                    )
+                    obs.metrics.observe(
+                        "bucket_rows_per_tag", rows, op=op.name
+                    )
             report.reduce += env.now - t0
+            if obs is not None:
+                obs.span(
+                    "reduce", "pipeline", t0, tid=tid, step=step,
+                    op=op.name, ntags=len(groups),
+                )
 
             # -- 7. finalize -------------------------------------------------------
             t0 = env.now
@@ -457,8 +532,19 @@ class StagingService:
                 res = yield from res
             self.results[op.name].setdefault(step, {})[comm.rank] = res
             report.finalize += env.now - t0
+            if obs is not None:
+                obs.span(
+                    "finalize", "pipeline", t0, tid=tid, step=step, op=op.name
+                )
 
         report.latency = env.now - report.t_dump_start
+        if obs is not None:
+            obs.metrics.gauge_max(
+                "peak_buffer_bytes", report.peak_buffer_bytes, stage=comm.rank
+            )
+            obs.metrics.observe(
+                "step_latency_seconds", report.latency, stage=comm.rank
+            )
         self.rank_reports.setdefault(step, {})[comm.rank] = report
         for listener in self._step_listeners:
             listener(step, comm.rank)
@@ -480,6 +566,10 @@ class StagingService:
         for src in sorted(received):
             self.client.commit(src, step)
         self.commit_times[step] = self.env.now
+        if self.env.obs is not None:
+            self.env.obs.instant(
+                "step_commit", "recovery", tid=f"stage{comm.rank}", step=step
+            )
         self._rank_step[comm.rank] = step + 1
         self._inflight.pop(comm.rank, None)
 
@@ -516,6 +606,12 @@ class StagingService:
             if proc.is_alive:
                 proc.interrupt("fetch timed out")
             self.fetch_retries += 1
+            if env.obs is not None:
+                env.obs.metrics.inc("fetch_retries", stage=comm.rank)
+                env.obs.instant(
+                    "fetch_retry", "recovery", tid=f"stage{comm.rank}",
+                    compute_rank=req.compute_rank, step=step, attempt=attempt,
+                )
             if attempt + 1 < r.fetch_max_attempts:
                 yield env.timeout(delay)
                 delay *= 2.0

@@ -135,6 +135,7 @@ def run_once(
     seed: int = 7,
     resilience: Optional[ResilienceConfig] = None,
     make_injector: bool = True,
+    obs=None,
 ) -> ChaosRun:
     """One complete chaos scenario; returns metrics + readable files.
 
@@ -149,9 +150,14 @@ def run_once(
     the interference baseline and the determinism control.
     ``make_injector=False`` goes further and builds no injector at
     all, for asserting that a disabled injector is bit-identical to
-    its complete absence.
+    its complete absence.  ``obs`` binds an
+    :class:`repro.obs.Observability` sink to the run's engine so the
+    crash/detection/recovery protocol shows up as trace instants.
     """
     eng = Engine()
+    if obs is not None:
+        kind = "fault" if inject else "baseline"
+        obs.bind(eng, label=f"chaos:{logical_ranks}:{kind}")
     machine = Machine(
         eng, rep_ranks, nstaging_nodes, spec=TESTING_TINY, fs_interference=False
     )
@@ -340,9 +346,22 @@ def run_chaos(
     return rows
 
 
-def main() -> None:
-    """Print the chaos-recovery series (one staging node killed mid-step)."""
-    rows = run_chaos()
+def main(trace: Optional[str] = None) -> None:
+    """Print the chaos-recovery series (one staging node killed mid-step).
+
+    ``trace``: path of a Chrome ``trace_event`` JSON to write; fault
+    and baseline runs each get a track group, recovery-protocol events
+    (crash/detected/recovery/replayed) appear as instants, and the
+    metrics summary is printed after the table.
+    """
+    obs = None
+    kwargs = {}
+    if trace is not None:
+        from repro.obs import Observability
+
+        obs = Observability(label="chaos")
+        kwargs["obs"] = obs
+    rows = run_chaos(**kwargs)
     table = [
         [
             r.logical_ranks,
@@ -374,7 +393,29 @@ def main() -> None:
             title="Chaos: one staging node killed mid-step (seeded, deterministic)",
         )
     )
+    if obs is not None:
+        written = obs.dump(trace)
+        print()
+        print(obs.metrics.summary_table(title="Chaos metrics"))
+        print(
+            "trace written: " + ", ".join(written)
+            + "  (open the .json in https://ui.perfetto.dev)"
+        )
+
+
+def _cli(argv=None) -> None:
+    import argparse
+
+    p = argparse.ArgumentParser(description="Chaos: staging-node crash recovery")
+    p.add_argument(
+        "--trace", nargs="?", const="chaos_trace.json", default=None,
+        metavar="PATH",
+        help="write a Chrome trace (default PATH: chaos_trace.json) "
+             "plus a .jsonl sidecar and a metrics summary",
+    )
+    a = p.parse_args(argv)
+    main(trace=a.trace)
 
 
 if __name__ == "__main__":
-    main()
+    _cli()

@@ -84,8 +84,24 @@ def run_fig7(
     return rows
 
 
-def main(scales: Optional[list[int]] = None, **run_kwargs) -> str:
-    """Print the Fig. 7 series; returns the formatted text."""
+def main(
+    scales: Optional[list[int]] = None,
+    trace: Optional[str] = None,
+    **run_kwargs,
+) -> str:
+    """Print the Fig. 7 series; returns the formatted text.
+
+    ``trace``: path of a Chrome ``trace_event`` JSON file to write
+    (viewable at https://ui.perfetto.dev); every run's pipeline phases
+    become one track group, a ``.jsonl`` sidecar carries the raw spans,
+    and the metrics summary table is appended to the output.
+    """
+    obs = None
+    if trace is not None:
+        from repro.obs import Observability
+
+        obs = Observability(label="fig7")
+        run_kwargs = dict(run_kwargs, obs=obs)
     blocks = []
     for op in OPERATIONS:
         rows = run_fig7(op, scales, **run_kwargs)
@@ -108,10 +124,37 @@ def main(scales: Optional[list[int]] = None, **run_kwargs) -> str:
             title=f"Fig. 7 — {op} operation (In-Compute-Node vs Staging)",
         )
         blocks.append(table)
+    if obs is not None:
+        written = obs.dump(trace)
+        blocks.append(obs.metrics.summary_table(title="Fig. 7 metrics"))
+        blocks.append(
+            "trace written: " + ", ".join(written)
+            + "  (open the .json in https://ui.perfetto.dev)"
+        )
     text = "\n\n".join(blocks)
     print(text)
     return text
 
 
+def _cli(argv=None) -> None:
+    import argparse
+
+    p = argparse.ArgumentParser(description="Fig. 7 — individual operations")
+    p.add_argument(
+        "--trace", nargs="?", const="fig7_trace.json", default=None,
+        metavar="PATH",
+        help="write a Chrome trace (default PATH: fig7_trace.json) "
+             "plus a .jsonl sidecar and a metrics summary",
+    )
+    p.add_argument("--fast", action="store_true", help="trimmed runs")
+    a = p.parse_args(argv)
+    kw = (
+        dict(ndumps=1, iterations_per_dump=2,
+             compute_seconds_per_iteration=10.0)
+        if a.fast else {}
+    )
+    main(trace=a.trace, **kw)
+
+
 if __name__ == "__main__":
-    main()
+    _cli()

@@ -40,11 +40,18 @@ class HeadlineRow:
     holds: bool
 
 
-def run_headline(*, fast: bool = False) -> list[HeadlineRow]:
-    """Measure every §V prose claim; ``fast`` trims run lengths."""
+def run_headline(*, fast: bool = False, obs=None) -> list[HeadlineRow]:
+    """Measure every §V prose claim; ``fast`` trims run lengths.
+
+    ``obs``: optional :class:`repro.obs.Observability` sink bound to
+    the direct GTC runs (the figure sub-experiments own their engines
+    and stay untraced).
+    """
     rows: list[HeadlineRow] = []
     kw = dict(ndumps=1, iterations_per_dump=2,
               compute_seconds_per_iteration=10.0) if fast else {}
+    if obs is not None:
+        kw["obs"] = obs
 
     # --- GTC write latency hiding at 16,384 cores
     ic = run_gtc(16384, "incompute", "sort", **kw)
@@ -196,17 +203,49 @@ def run_headline(*, fast: bool = False) -> list[HeadlineRow]:
     return rows
 
 
-def main(**kw) -> str:
-    """Print the headline paper-vs-measured table; returns the text."""
+def main(trace: Optional[str] = None, **kw) -> str:
+    """Print the headline paper-vs-measured table; returns the text.
+
+    ``trace``: path of a Chrome ``trace_event`` JSON to write for the
+    directly-run GTC experiments, plus a metrics summary table.
+    """
+    obs = None
+    if trace is not None:
+        from repro.obs import Observability
+
+        obs = Observability(label="headline")
+        kw = dict(kw, obs=obs)
     rows = run_headline(**kw)
     text = format_table(
         ["metric", "paper", "measured", "holds"],
         [[r.metric, r.paper, r.measured, "yes" if r.holds else "NO"] for r in rows],
         title="Headline §V numbers — paper vs measured",
     )
+    if obs is not None:
+        written = obs.dump(trace)
+        text += "\n\n" + obs.metrics.summary_table(title="Headline metrics")
+        text += (
+            "\ntrace written: " + ", ".join(written)
+            + "  (open the .json in https://ui.perfetto.dev)"
+        )
     print(text)
     return text
 
 
+def _cli(argv=None) -> None:
+    import argparse
+
+    p = argparse.ArgumentParser(description="Headline §V numbers")
+    p.add_argument(
+        "--trace", nargs="?", const="headline_trace.json", default=None,
+        metavar="PATH",
+        help="write a Chrome trace (default PATH: headline_trace.json) "
+             "plus a .jsonl sidecar and a metrics summary",
+    )
+    p.add_argument("--fast", action="store_true", help="trimmed runs")
+    a = p.parse_args(argv)
+    main(trace=a.trace, fast=a.fast)
+
+
 if __name__ == "__main__":
-    main()
+    _cli()

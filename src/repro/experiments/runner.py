@@ -11,7 +11,7 @@ representative ranks and return a structured result.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Callable, Optional
+from typing import Any, Callable, Optional
 
 from repro.adios.io import SyncMPIIO
 from repro.apps.gtc import GTC_GROUP, GTCApplication, GTCConfig, GTCMetrics
@@ -147,6 +147,7 @@ def run_gtc(
     scheduled: bool = True,
     fs_interference: bool = True,
     operators_factory: Optional[Callable] = None,
+    obs: Optional[Any] = None,
 ) -> GTCRunResult:
     """One GTC run at *cores* under the chosen operator *placement*.
 
@@ -154,6 +155,10 @@ def run_gtc(
     PreDatA; ``"incompute"`` runs them synchronously on the compute
     ranks with synchronous MPI-IO; ``"none"`` is the operator-free
     baseline (used to isolate interference).
+
+    ``obs``: an :class:`repro.obs.Observability` sink; when given it is
+    bound to the run's engine so every pipeline phase is traced (one
+    Perfetto track group per run).  None (default) disables tracing.
     """
     if placement not in ("staging", "incompute", "none"):
         raise ValueError(f"bad placement {placement!r}")
@@ -163,6 +168,8 @@ def run_gtc(
     spec_scaled = replace(spec, filesystem=_scaled_fs(spec, rep_factor))
 
     eng = Engine()
+    if obs is not None:
+        obs.bind(eng, label=f"gtc:{operation}:{cores}:{placement}")
     n_staging_nodes = max(1, (r_s + 1) // 2) if placement == "staging" else 0
     machine = Machine(
         eng, r, n_staging_nodes, spec=spec_scaled,
@@ -290,12 +297,14 @@ def run_pixie3d(
     scheduled: bool = True,
     fs_interference: bool = True,
     staging_steal: float = 0.008,
+    obs: Optional[Any] = None,
 ) -> Pixie3DRunResult:
     """One Pixie3D run at *cores* with layout reorg in *placement*.
 
     ``placement``: ``"staging"`` sends output through PreDatA where the
     array-merge operator reorganises it; ``"incompute"`` writes
-    unmerged BP directly with synchronous MPI-IO.
+    unmerged BP directly with synchronous MPI-IO.  ``obs`` binds an
+    :class:`repro.obs.Observability` sink to the run's engine.
     """
     from repro.adios.bp import BPWriter
     from repro.operators import ArrayMergeOperator
@@ -309,6 +318,8 @@ def run_pixie3d(
     spec_scaled = replace(spec, filesystem=_scaled_fs(spec, rep_factor))
 
     eng = Engine()
+    if obs is not None:
+        obs.bind(eng, label=f"pixie3d:{cores}:{placement}")
     nodes_needed_for_ranks = max(1, r // spec.node.cores)
     n_staging_nodes = max(1, (r_s + 1) // 2) if placement == "staging" else 0
     machine = Machine(

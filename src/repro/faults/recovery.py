@@ -78,6 +78,15 @@ class ResilienceController:
         self.epoch = 0
         self._armed = False
 
+    def _event(self, kind: str, detail: object) -> None:
+        """Record a protocol event on the timeline (and, when an
+        observability sink is bound, mirror it as a trace instant)."""
+        self.timeline.append((kind, self.env.now, detail))
+        obs = self.env.obs
+        if obs is not None:
+            obs.instant(kind, "recovery", tid="controller", detail=repr(detail))
+            obs.metrics.inc(f"recovery_{kind}")
+
     # -- wiring -----------------------------------------------------------
     def arm(self) -> None:
         """Install crash listeners + heartbeats (after ``service.start()``)."""
@@ -125,7 +134,7 @@ class ResilienceController:
     # -- crash-time action -------------------------------------------------
     def _on_node_crash(self, node) -> None:
         """Instantly kill staging processes hosted on the dead node."""
-        self.timeline.append(("crash", self.env.now, node.id))
+        self._event("crash", node.id)
         for rank in range(self.world.size):
             if self.world.rank_nodes[rank] != node.id:
                 continue
@@ -139,7 +148,7 @@ class ResilienceController:
 
     # -- detection-time recovery -------------------------------------------
     def _on_detected(self, ranks: list[int]) -> None:
-        self.timeline.append(("detected", self.env.now, list(ranks)))
+        self._event("detected", list(ranks))
         for rank in ranks:
             self.world.deactivate_rank(rank)
             self.client.mark_stager_failed(rank)
@@ -148,7 +157,7 @@ class ResilienceController:
         ]
         if len(survivors) < self.config.min_survivors:
             self.client.enter_degraded_mode()
-            self.timeline.append(("degraded", self.env.now, len(survivors)))
+            self._event("degraded", len(survivors))
         if survivors:
             self._restart_survivors(survivors)
         else:
@@ -168,9 +177,7 @@ class ResilienceController:
         restart_step = min(
             self.service._rank_step.get(r, 0) for r in alive_procs
         )
-        self.timeline.append(
-            ("recovery", self.env.now, {"step": restart_step, "epoch": self.epoch})
-        )
+        self._event("recovery", {"step": restart_step, "epoch": self.epoch})
         for r in sorted(alive_procs):
             alive_procs[r].interrupt(RecoveryRestart(restart_step, self.epoch))
         self.world.reset_collectives()
@@ -221,7 +228,7 @@ class ResilienceController:
         step_obj = OutputStep.unpack(self.service.group, payload)
         yield from self.fallback.write_step(_EnvComm(self.env, crank), step_obj)
         self.client.commit(crank, step)
-        self.timeline.append(("replayed", self.env.now, (crank, step)))
+        self._event("replayed", (crank, step))
         return None
 
     def _replay_all(self) -> Generator:

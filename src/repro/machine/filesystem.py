@@ -179,6 +179,13 @@ class ParallelFileSystem:
             cap_ev = self.env.timeout(cap_time)
             yield self.env.all_of([done, cap_ev])
             self.bytes_written += nbytes
+        obs = self.env.obs
+        if obs is not None:
+            obs.span(
+                "fs_write", "io", start, tid="filesystem",
+                nbytes=nbytes, nclients=nclients,
+            )
+            obs.metrics.inc("fs_bytes_written", nbytes)
         return self.env.now - start
 
     def read(
@@ -216,4 +223,11 @@ class ParallelFileSystem:
             cap_ev = self.env.timeout(nbytes / cap)
             yield self.env.all_of([done, cap_ev])
             self.bytes_read += nbytes
+        obs = self.env.obs
+        if obs is not None:
+            obs.span(
+                "fs_read", "io", start, tid="filesystem",
+                nbytes=nbytes, nclients=nclients, extents=extents,
+            )
+            obs.metrics.inc("fs_bytes_read", nbytes)
         return self.env.now - start

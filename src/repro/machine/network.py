@@ -176,6 +176,12 @@ class Network:
             yield done
             snic.bytes_tx += nbytes
             dnic.bytes_rx += nbytes
+            obs = self.env.obs
+            if obs is not None:
+                obs.metrics.inc("net_bytes", nbytes)
+                obs.metrics.inc("net_transfers")
+                if rdma:
+                    obs.metrics.inc("net_rdma_transfers")
         return self.env.now - start
 
     def transfer_event(

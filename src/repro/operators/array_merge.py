@@ -129,12 +129,19 @@ class ArrayMergeOperator(PreDatAOperator):
         return int(tag[1])
 
     def reduce(self, ctx: OperatorContext, tag: Any, values: list[Any]) -> Any:
+        """Paste pieces into this owner's slab, checking full coverage.
+
+        A zero-height slab (more workers than rows along dim 0) is
+        legal: no pieces arrive and the coverage check passes vacuously
+        on the empty slab.
+        """
         var, owner = tag
         dims = ctx.storage["global_dims"][var]
         starts = ctx.storage["slab_starts"][var]
         s_lo, s_hi = int(starts[owner]), int(starts[owner + 1])
         slab_shape = (s_hi - s_lo, *dims[1:])
-        slab = np.zeros(slab_shape, dtype=values[0][1].dtype)
+        dtype = values[0][1].dtype if values else np.float64
+        slab = np.zeros(slab_shape, dtype=dtype)
         filled = np.zeros(slab_shape, dtype=bool)
         for (offsets, piece) in values:
             sel = tuple(

@@ -197,6 +197,8 @@ class BitmapIndexOperator(PreDatAOperator):
         *,
         name: Optional[str] = None,
     ):
+        if bins < 1:
+            raise ValueError("bins must be >= 1")
         self.var = var
         self.column = column
         self.bins = bins
@@ -236,11 +238,13 @@ class BitmapIndexOperator(PreDatAOperator):
         return np.concatenate(values) if values else np.empty(0)
 
     def finalize(self, ctx: OperatorContext, reduced: dict):
+        """Build this rank's index (empty-but-valid on an all-empty step,
+        where no global edges were aggregated and ``self.bins`` applies)."""
         values = reduced.get(ctx.rank)
         if values is None:
             values = np.empty(0)
         edges = ctx.aggregated
-        return BitmapIndex(values, edges=edges)
+        return BitmapIndex(values, bins=self.bins, edges=edges)
 
     def logical_fraction_shuffled(self) -> float:
         return 0.0

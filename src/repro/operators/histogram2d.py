@@ -104,6 +104,9 @@ class Histogram2DOperator(PreDatAOperator):
         return [Emit(self._TAG, total)]
 
     def reduce(self, ctx: OperatorContext, tag: Any, values: list[Any]) -> Any:
+        """Sum count matrices (an empty bucket sums to all-zero counts)."""
+        if not values:
+            return np.zeros(self.bins, dtype=np.int64)
         total = values[0].copy()
         for v in values[1:]:
             total += v

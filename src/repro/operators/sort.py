@@ -67,37 +67,64 @@ class SampleSortOperator(PreDatAOperator):
 
     # -- pass 1: sampling ---------------------------------------------------
     def partial_calculate(self, step: OutputStep) -> Any:
-        keys = np.atleast_2d(step.values[self.var])[:, self.key_column]
+        """Sample local keys; returns ``(sorted_samples, row_width)``.
+
+        The row width rides along so that every staging rank can build
+        well-formed empty ``(0, k)`` buckets even when no row ever
+        reaches it (or when this process holds zero rows this step —
+        then samples is None but the width still propagates).
+        """
+        data = np.atleast_2d(step.values[self.var])
+        width = int(data.shape[1])
+        keys = data[:, self.key_column] if width else np.empty(0)
         if keys.size == 0:
-            return None
+            return (None, width)
         rng = np.random.default_rng(self.seed + step.rank)
         k = min(self.samples_per_rank, keys.size)
         idx = rng.choice(keys.size, size=k, replace=False)
-        return np.sort(keys[idx])
+        return (np.sort(keys[idx]), width)
 
     def partial_flops(self, step: OutputStep) -> float:
         k = self.samples_per_rank
         return 10.0 * k * max(np.log2(max(k, 2)), 1.0)
 
     def aggregate(self, partials: list[Any]) -> Any:
+        """Pool all samples; returns ``(sorted_pool, row_width)``.
+
+        Splitters are cut per-worker in :meth:`initialize`.  Returns
+        None when no process sampled anything (all-empty step).
+        """
         partials = [p for p in partials if p is not None]
-        if not partials:
+        samples = [s for s, _w in partials if s is not None]
+        if not samples:
             return None
-        pool = np.sort(np.concatenate(partials))
-        return pool  # splitters are cut per-worker in initialize()
+        width = max(w for _s, w in partials)
+        pool = np.sort(np.concatenate(samples))
+        return (pool, width)
 
     # -- stage 4 ----------------------------------------------------------------
     def initialize(self, ctx: OperatorContext) -> None:
-        pool = ctx.aggregated
-        if pool is None:
+        """Cut strictly increasing splitters from the sample pool.
+
+        Under heavy key skew the raw quantiles repeat (e.g. a pool that
+        is 99 % one value), which would make several bucket ranges
+        empty *by construction* while ``searchsorted`` still routed all
+        ties to the first of the duplicate buckets.  Deduplicating
+        keeps the splitter sequence strictly increasing; some reducers
+        then legitimately receive no bucket at all — empty reducers are
+        legal and produce well-formed ``(0, k)`` results downstream.
+        """
+        if ctx.aggregated is None:
             raise RuntimeError(f"{self.name}: no samples aggregated")
+        pool, width = ctx.aggregated
         n = ctx.nworkers
         if n > 1:
             qs = np.linspace(0, 1, n + 1)[1:-1]
-            splitters = np.quantile(pool, qs)
+            splitters = np.unique(np.quantile(pool, qs))
         else:
             splitters = np.array([])
         ctx.storage["splitters"] = splitters
+        ctx.storage["width"] = int(width)
 
     def map(self, ctx: OperatorContext, step: OutputStep) -> Iterable[Emit]:
         splitters = ctx.storage["splitters"]
@@ -118,7 +145,11 @@ class SampleSortOperator(PreDatAOperator):
         return int(tag)  # bucket b sorts on reducer b
 
     def reduce(self, ctx: OperatorContext, tag: Any, values: list[Any]) -> Any:
-        merged = np.concatenate(values, axis=0) if values else np.empty((0,))
+        """Merge + stable-sort one bucket; empty buckets yield (0, k)."""
+        if not values:
+            width = ctx.storage.get("width", 0)
+            return np.empty((0, width))
+        merged = np.concatenate([np.atleast_2d(v) for v in values], axis=0)
         order = np.argsort(merged[:, self.key_column], kind="stable")
         return merged[order]
 
@@ -139,9 +170,11 @@ class SampleSortOperator(PreDatAOperator):
         return 100.0 * real * ctx.volume_scale
 
     def finalize(self, ctx: OperatorContext, reduced: dict):
+        """Persist this reducer's bucket (a well-formed ``(0, k)`` array
+        when no row was routed here — legal under deduped splitters)."""
         bucket = reduced.get(ctx.rank)
         if bucket is None:
-            bucket = np.empty((0,))
+            bucket = np.empty((0, ctx.storage.get("width", 0)))
         if self.filesystem is not None:
             nbytes = float(np.asarray(bucket).nbytes) * ctx.volume_scale
 

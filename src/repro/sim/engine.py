@@ -321,6 +321,15 @@ class Engine:
         When True (default), an exception escaping a process marks the
         process failed instead of aborting the whole run; waiting on the
         failed process re-raises.  Set False to debug tracebacks.
+
+    Attributes
+    ----------
+    obs:
+        Optional :class:`repro.obs.Observability` sink.  ``None`` by
+        default — every instrumentation site across the codebase guards
+        on ``env.obs is not None``, so the disabled pipeline carries no
+        tracing overhead beyond one attribute read.  Attach one with
+        ``Observability().bind(engine)``.
     """
 
     def __init__(self, *, catch_errors: bool = True):
@@ -329,6 +338,8 @@ class Engine:
         self._seq = 0
         self._active_process: Optional[Process] = None
         self._catch_errors = catch_errors
+        #: observability sink (see class docstring); set via bind()
+        self.obs = None
 
     # -- public API ------------------------------------------------------
     @property

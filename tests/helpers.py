@@ -73,12 +73,16 @@ def run_staging_pipeline(
     procs_per_staging_node=2,
     scheduled=True,
     fs_interference=False,
+    obs=None,
 ):
     """Run a small end-to-end Staging-configuration pipeline.
 
     Returns (engine, machine, predata, app_visible_seconds).
+    ``obs``: optional Observability sink bound to the engine.
     """
     eng = Engine()
+    if obs is not None:
+        obs.bind(eng, label="test-pipeline")
     machine = Machine(
         eng,
         nprocs,

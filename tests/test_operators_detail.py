@@ -166,6 +166,67 @@ def test_sort_validation():
         SampleSortOperator("v", 0, samples_per_rank=0)
 
 
+# ---- regression: empty buckets must flow as well-formed (0, k) arrays
+def test_sort_empty_bucket_reduce_and_finalize():
+    op = SampleSortOperator("electrons", key_column=0)
+    data = np.random.default_rng(0).random((30, 8))
+    agg = op.aggregate([op.partial_calculate(step_of(data))])
+    ctx = ctx_of(nworkers=4, aggregated=agg)
+    op.initialize(ctx)
+    out = op.reduce(ctx, 0, [])
+    assert out.shape == (0, 8)  # row width carried end to end
+    fin = op.finalize(ctx, {})
+    assert np.asarray(fin).shape == (0, 8)
+    # downstream column access on the empty result must not crash
+    assert np.atleast_2d(fin)[:, 0].shape == (0,)
+
+
+def test_sort_empty_rank_still_carries_width():
+    op = SampleSortOperator("electrons", key_column=0)
+    empty = op.partial_calculate(step_of(np.empty((0, 8))))
+    full = op.partial_calculate(step_of(np.random.default_rng(1).random((5, 8))))
+    agg = op.aggregate([empty, full])
+    ctx = ctx_of(nworkers=3, aggregated=agg)
+    op.initialize(ctx)
+    assert ctx.storage["width"] == 8
+    # an all-empty step aggregates to None (nothing to sort)
+    assert op.aggregate([empty]) is None
+
+
+# ---- regression: key skew must not produce duplicate splitters
+def test_sort_skewed_keys_splitters_strictly_increasing():
+    op = SampleSortOperator("electrons", key_column=0, samples_per_rank=128)
+    skew = np.full((100, 5), 5.0)
+    tail = np.full((1, 5), 9.0)
+    agg = op.aggregate([
+        op.partial_calculate(step_of(skew)),
+        op.partial_calculate(step_of(tail, rank=1)),
+    ])
+    ctxs = [ctx_of(rank=w, nworkers=8, aggregated=agg) for w in range(8)]
+    for c in ctxs:
+        op.initialize(c)
+    splitters = ctxs[0].storage["splitters"]
+    assert np.all(np.diff(splitters) > 0)  # strictly increasing
+    # drive the full local pipeline: all rows land somewhere, every
+    # bucket (including the legal empty ones) is well-formed and the
+    # global order across reducers holds
+    routed = {w: [] for w in range(8)}
+    for s in (step_of(skew), step_of(tail, rank=1)):
+        for e in op.map(ctxs[0], s):
+            routed[op.partition(ctxs[0], e.tag) % 8].append(e.value)
+    buckets = {w: op.reduce(ctxs[w], w, vs) for w, vs in routed.items()}
+    assert sum(len(b) for b in buckets.values()) == 101
+    prev_max = -np.inf
+    for w in sorted(buckets):
+        b = np.atleast_2d(buckets[w])
+        assert b.ndim == 2 and b.shape[1] in (0, 5)
+        if b.shape[0]:
+            keys = b[:, 0]
+            assert np.all(np.diff(keys) >= 0)
+            assert keys[0] >= prev_max
+            prev_max = keys[-1]
+
+
 def test_sort_initialize_without_aggregate_fails():
     op = SampleSortOperator("electrons", 0)
     with pytest.raises(RuntimeError):
@@ -220,6 +281,84 @@ def test_histogram2d_counts_match_numpy():
     expected, _, _ = np.histogram2d(data[:, 0], data[:, 1],
                                     bins=(agg[0], agg[1]))
     np.testing.assert_array_equal(emits[0].value, expected)
+
+
+# ----------------------------------------- degenerate-input audit
+def test_histogram_reduce_empty_values():
+    op = HistogramOperator("electrons", column=0, bins=16)
+    out = op.reduce(ctx_of(), "hist", [])
+    assert out.shape == (16,) and out.sum() == 0
+
+
+def test_histogram2d_reduce_empty_values():
+    op = Histogram2DOperator("electrons", columns=(0, 1), bins=(4, 8))
+    out = op.reduce(ctx_of(), "hist2d", [])
+    assert out.shape == (4, 8) and out.sum() == 0
+
+
+def test_histogram2d_map_empty_chunk():
+    op = Histogram2DOperator("electrons", columns=(0, 1), bins=(4, 4))
+    data = np.random.default_rng(2).normal(size=(10, 8))
+    agg = op.aggregate([op.partial_calculate(step_of(data))])
+    ctx = ctx_of(aggregated=agg)
+    op.initialize(ctx)
+    emits = list(op.map(ctx, step_of(np.empty((0, 8)))))
+    assert emits[0].value.sum() == 0
+
+
+def test_bitmap_operator_empty_step_uses_configured_bins():
+    from repro.operators import BitmapIndexOperator
+
+    op = BitmapIndexOperator("electrons", column=0, bins=8)
+    # all-empty step: no partials -> no aggregated edges
+    assert op.partial_calculate(step_of(np.empty((0, 8)))) is None
+    assert op.aggregate([None]) is None
+    ctx = ctx_of(aggregated=None)
+    idx = op.finalize(ctx, {})
+    assert idx.bins == 8  # not the BitmapIndex default of 64
+    assert idx.query(0.0, 1.0).nrows == 0
+
+
+def test_bitmap_operator_validation():
+    from repro.operators import BitmapIndexOperator
+
+    with pytest.raises(ValueError):
+        BitmapIndexOperator("v", 0, bins=0)
+
+
+def test_array_merge_zero_height_slab():
+    from repro.adios.group import ChunkMeta
+    from repro.operators import ArrayMergeOperator
+
+    op = ArrayMergeOperator(["field"])
+    g = GroupDef(
+        "f", (VarDef("field", "float64", VarKind.GLOBAL_ARRAY, ndim=3),)
+    )
+    data = np.ones((2, 4, 4))
+    s = OutputStep(
+        group=g, step=0, rank=0, values={"field": data},
+        chunks={"field": ChunkMeta((2, 4, 4), (0, 0, 0))},
+    )
+    agg = op.aggregate([op.partial_calculate(s)])
+    # more workers than rows along dim 0 -> some slabs have zero height
+    ctxs = [ctx_of(rank=w, nworkers=4, aggregated=agg) for w in range(4)]
+    for c in ctxs:
+        op.initialize(c)
+    routed = {w: [] for w in range(4)}
+    for e in op.map(ctxs[0], s):
+        routed[op.partition(ctxs[0], e.tag)].append((e.tag, e.value))
+    total_rows = 0
+    for w, tagged in routed.items():
+        for tag, value in tagged:
+            _lo, slab = op.reduce(ctxs[w], tag, [value])
+            total_rows += slab.shape[0]
+    assert total_rows == 2
+    # a zero-height slab reduces cleanly from an empty value list
+    empty_owner = next(
+        w for w in range(4) if not routed[w]
+    )
+    lo, slab = op.reduce(ctxs[empty_owner], ("field", empty_owner), [])
+    assert slab.shape[0] == 0
 
 
 # ------------------------------------------------------------ minmax
