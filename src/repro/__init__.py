@@ -27,6 +27,7 @@ __all__ = [
     "experiments",
     "faults",
     "ffs",
+    "flow",
     "machine",
     "mpi",
     "obs",

@@ -42,6 +42,13 @@ def main(argv=None) -> int:
         help="(fig7/headline/chaos) write a Chrome trace + metrics "
              "summary; PATH defaults to <command>_trace.json",
     )
+    parser.add_argument(
+        "--flow", nargs="?", const=0.25, default=None, type=float,
+        metavar="FRACTION",
+        help="(fig7/chaos) enable flow control: cap each staging "
+             "node's buffer pool at FRACTION of its per-step working "
+             "set (default 0.25)",
+    )
     args = parser.parse_args(argv)
     trace = None
     if args.trace is not None:
@@ -59,7 +66,10 @@ def main(argv=None) -> int:
     elif args.command == "fig7":
         from repro.experiments import fig7
 
-        fig7.main(trace=trace, **(fast_fig7 if args.fast else {}))
+        kw = dict(fast_fig7) if args.fast else {}
+        if args.flow is not None:
+            kw["flow_fraction"] = args.flow
+        fig7.main(trace=trace, **kw)
     elif args.command == "fig8":
         from repro.experiments import fig8
 
@@ -87,7 +97,7 @@ def main(argv=None) -> int:
     elif args.command == "chaos":
         from repro.experiments import chaos
 
-        chaos.main(trace=trace)
+        chaos.main(trace=trace, flow_fraction=args.flow)
     return 0
 
 

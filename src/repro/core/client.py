@@ -129,6 +129,9 @@ class StagingClient:
         #: controller callback replaying a buffer through the fallback
         #: when a dump lands after the last stager died
         self._orphan_sink: Optional[Callable[[int, int], Any]] = None
+        #: optional :class:`repro.flow.FlowControl` — credit-based
+        #: admission + staging buffer pools (None = no flow control)
+        self.flow = None
 
     # -- routing ------------------------------------------------------------
     def route(self, compute_rank: int) -> int:
@@ -182,6 +185,10 @@ class StagingClient:
             self.machine.node(rec.node_id).free(rec.logical_nbytes)
             if not rec.freed.triggered:
                 rec.freed.succeed()
+        if self.flow is not None:
+            # safety net: whatever path completed the step (including
+            # zero-survivor replay), its credits must not leak
+            self.flow.release_credits((compute_rank, step))
 
     def buffer_payload(self, compute_rank: int, step: int) -> Optional[bytes]:
         """Packed bytes of an uncommitted dump (controller replay path)."""
@@ -342,7 +349,9 @@ class StagingClient:
             if self.fault_hook is not None
             else None
         )
-        yield from self.scheduler.wait_clear(rec.node_id)
+        yield from self.scheduler.wait_clear(
+            rec.node_id, dst_node=staging_node, nbytes=rec.logical_nbytes
+        )
         if fault is not None:
             mode, delay = fault
             if delay > 0:
@@ -381,14 +390,20 @@ class StagingTransport(IOMethod):
         self.fallback = fallback
         self.visible_write_seconds = 0.0
         self.degraded_steps = 0
+        #: steps degraded to the fallback by credit-admission overload
+        self.overflow_steps = 0
+
+    def _degraded_write(self, comm: Communicator, step: OutputStep) -> Generator:
+        """Process body: synchronous fallback write + staging skip notice."""
+        yield from self.fallback.write_step(comm, step)
+        if self.client.has_live_stagers:
+            yield from self.client.skip_step(comm, step.step)
+        self.degraded_steps += 1
 
     def write_step(self, comm: Communicator, step: OutputStep) -> Generator:
         if self.client.degraded and self.fallback is not None:
             start = comm.env.now
-            yield from self.fallback.write_step(comm, step)
-            if self.client.has_live_stagers:
-                yield from self.client.skip_step(comm, step.step)
-            self.degraded_steps += 1
+            yield from self._degraded_write(comm, step)
             obs = comm.env.obs
             if obs is not None:
                 obs.metrics.inc("degraded_steps", rank=comm.rank)
@@ -397,6 +412,38 @@ class StagingTransport(IOMethod):
                     tid=f"compute{comm.rank}", step=step.step,
                 )
             t = comm.env.now - start
+            self.visible_write_seconds += t
+            return t
+        flow = self.client.flow
+        if flow is not None and self.client.has_live_stagers:
+            # Credit-based admission: hold the write until its routed
+            # staging rank grants byte credits for the packed chunk.
+            # Under a CoDel sojourn target (and with a fallback to
+            # degrade to), an over-waiting write leaves the queue and
+            # lands synchronously instead.
+            start = comm.env.now
+            target = self.client.route(comm.rank)
+            granted = yield from flow.request_credits(
+                target,
+                (comm.rank, step.step),
+                step.nbytes_logical,
+                can_degrade=self.fallback is not None,
+            )
+            if not granted:
+                yield from self._degraded_write(comm, step)
+                self.overflow_steps += 1
+                obs = comm.env.obs
+                if obs is not None:
+                    obs.metrics.inc("flow_overflow_steps", rank=comm.rank)
+                    obs.instant(
+                        "overflow_write", "flow",
+                        tid=f"compute{comm.rank}", step=step.step,
+                    )
+                t = comm.env.now - start
+                self.visible_write_seconds += t
+                return t
+            yield from self.client.write_step(comm, step)
+            t = comm.env.now - start  # visible time includes the credit wait
             self.visible_write_seconds += t
             return t
         t = yield from self.client.write_step(comm, step)

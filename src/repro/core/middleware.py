@@ -35,6 +35,7 @@ from repro.core.scheduler import MovementScheduler
 from repro.core.staging import StagingConfig, StagingService
 from repro.faults.config import ResilienceConfig
 from repro.faults.recovery import ResilienceController
+from repro.flow import FlowConfig, FlowControl
 from repro.machine.machine import Machine
 from repro.mpi.world import World
 from repro.sim.engine import Engine
@@ -66,11 +67,16 @@ class PreDatA:
         chunk_order: Optional[Callable] = None,
         resilience: Optional[ResilienceConfig] = None,
         fallback_io: Optional[IOMethod] = None,
+        flow: Optional[FlowConfig] = None,
     ):
         """``resilience`` enables the failure detection/recovery protocol
         (heartbeats, commit barrier, failover routing, degradation);
         ``fallback_io`` is the synchronous transport degraded writes use
-        (default: a fresh ``SyncMPIIO`` on the machine's file system)."""
+        (default: a fresh ``SyncMPIIO`` on the machine's file system).
+        ``flow`` enables the flow-control subsystem (credit-based
+        admission, per-staging-node buffer pools with spill-to-FS,
+        pressure-aware fetch throttling); None — the default — keeps
+        the pre-flow pipeline byte-identical."""
         if machine.n_staging_nodes < 1:
             raise ValueError("machine has no staging nodes allocated")
         if ncompute_procs < 1:
@@ -108,8 +114,22 @@ class PreDatA:
             fetch_rate_cap=fetch_rate_cap,
             resilient=resilience is not None,
         )
+        self.flow: Optional[FlowControl] = None
+        if flow is not None:
+            self.flow = FlowControl(
+                env,
+                machine,
+                flow,
+                staging_rank_nodes=staging_rank_nodes,
+                fetch_rate_cap=fetch_rate_cap,
+            )
+            self.client.flow = self.flow
+            self.scheduler.pressure = self.flow.pressure
         self.fallback_io: Optional[IOMethod] = None
-        if resilience is not None:
+        if resilience is not None or (
+            flow is not None and flow.codel_target is not None
+        ):
+            # CoDel-degraded writes need a synchronous path to land on
             self.fallback_io = fallback_io or SyncMPIIO(machine.filesystem)
         self.transport = StagingTransport(self.client, fallback=self.fallback_io)
         self.service = StagingService(

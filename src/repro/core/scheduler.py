@@ -17,7 +17,7 @@ configuration for the interference experiment.
 
 from __future__ import annotations
 
-from typing import Generator
+from typing import Generator, Optional
 
 from repro.sim.engine import Engine, Event
 
@@ -48,6 +48,10 @@ class MovementScheduler:
         self._clear_events: dict[int, Event] = {}
         self.deferred_fetches = 0
         self.total_defer_seconds = 0.0
+        #: optional :class:`repro.flow.pressure.PressureController`;
+        #: when set, fetches are additionally admitted against the
+        #: destination node's buffer-pool occupancy.
+        self.pressure = None
 
     # -- application side ---------------------------------------------------
     def enter_comm_phase(self, node_id: int) -> None:
@@ -71,33 +75,45 @@ class MovementScheduler:
         return self._depth.get(node_id, 0) > 0
 
     # -- staging side ---------------------------------------------------------
-    def wait_clear(self, node_id: int) -> Generator:
+    def wait_clear(
+        self,
+        node_id: int,
+        *,
+        dst_node: Optional[int] = None,
+        nbytes: float = 0.0,
+    ) -> Generator:
         """Process body: wait until *node_id* leaves its comm phase.
 
-        Returns the seconds deferred (0.0 when movement proceeds
+        ``dst_node``/``nbytes`` describe the fetch destination; when a
+        :class:`~repro.flow.pressure.PressureController` is attached
+        the fetch is additionally admitted (held or rate-shaped)
+        against that node's buffer-pool occupancy.  Returns the total
+        seconds the movement was delayed (0.0 when it proceeds
         immediately).
         """
-        if not self.enabled or not self.in_comm_phase(node_id):
-            return 0.0
-        start = self.env.now
-        self.deferred_fetches += 1
-        deadline = self.env.timeout(self.max_defer)
-        while self.in_comm_phase(node_id):
-            ev = self._clear_events.get(node_id)
-            if ev is None or ev.triggered:
-                ev = self.env.event()
-                self._clear_events[node_id] = ev
-            fired = yield self.env.any_of([ev, deadline])
-            if deadline in fired:
-                break  # anti-starvation: proceed despite the phase
-        deferred = self.env.now - start
-        self.total_defer_seconds += deferred
-        obs = self.env.obs
-        if obs is not None and deferred > 0:
-            obs.span(
-                "scheduler_defer", "scheduler", start,
-                tid=f"node{node_id}", node=node_id,
-            )
-            obs.metrics.inc("scheduler_defers", node=node_id)
-            obs.metrics.inc("scheduler_defer_seconds", deferred, node=node_id)
+        deferred = 0.0
+        if self.enabled and self.in_comm_phase(node_id):
+            start = self.env.now
+            self.deferred_fetches += 1
+            deadline = self.env.timeout(self.max_defer)
+            while self.in_comm_phase(node_id):
+                ev = self._clear_events.get(node_id)
+                if ev is None or ev.triggered:
+                    ev = self.env.event()
+                    self._clear_events[node_id] = ev
+                fired = yield self.env.any_of([ev, deadline])
+                if deadline in fired:
+                    break  # anti-starvation: proceed despite the phase
+            deferred = self.env.now - start
+            self.total_defer_seconds += deferred
+            obs = self.env.obs
+            if obs is not None and deferred > 0:
+                obs.span(
+                    "scheduler_defer", "scheduler", start,
+                    tid=f"node{node_id}", node=node_id,
+                )
+                obs.metrics.inc("scheduler_defers", node=node_id)
+                obs.metrics.inc("scheduler_defer_seconds", deferred, node=node_id)
+        if self.pressure is not None and dst_node is not None:
+            deferred += yield from self.pressure.admit(dst_node, nbytes)
         return deferred

@@ -166,10 +166,48 @@ class StagingService:
             if missing:
                 lines.append(f"step {step}: waiting on staging ranks {missing}")
         detail = "; ".join(lines) if lines else "no step reports missing"
-        return (
+        # Queue depth + in-flight bytes per stuck rank: the difference
+        # between 'requests never arrived' and 'wedged mid-fetch under
+        # backpressure' is exactly what a drain post-mortem needs.
+        states = []
+        for rank in expected:
+            box = self.client._request_boxes.get(rank)
+            queued_n = box.pending if box is not None else 0
+            queued_b = (
+                sum(
+                    req.logical_nbytes
+                    for _src, _tag, req in box._messages
+                    if req is not None
+                )
+                if box is not None
+                else 0.0
+            )
+            inflight = self._inflight.get(rank) or {}
+            inflight_b = inflight.get("alloc", 0.0)
+            inflight_b += sum(
+                t.nbytes
+                for t in inflight.get("tickets", ())
+                if t.state != "spilled"
+            )
+            if queued_n or inflight_b > 0:
+                states.append(
+                    f"rank {rank}: {queued_n} queued request(s) "
+                    f"[{queued_b:.3g} B], {inflight_b:.3g} B in flight"
+                )
+        msg = (
             f"staging drain timed out after {timeout:g} simulated seconds "
             f"({detail})"
         )
+        if states:
+            msg += "; " + "; ".join(states)
+        obs = self.env.obs
+        if obs is not None:
+            fetched = sum(v for _l, v in obs.metrics.labelled("bytes_fetched"))
+            retries = sum(v for _l, v in obs.metrics.labelled("fetch_retries"))
+            msg += f"; obs: {fetched:.3g} B fetched, {retries:.0f} fetch retries"
+        if self.client.flow is not None:
+            msg += "; flow: " + self.client.flow.describe_pressure()
+        return msg
 
     # -- aggregated views -----------------------------------------------------
     def step_report(self, step: int) -> StepReport:
@@ -240,6 +278,10 @@ class StagingService:
         alloc = inflight.get("alloc", 0.0)
         if node is not None and alloc > 0:
             node.free(alloc)
+        pool = inflight.get("pool")
+        if pool is not None:
+            for ticket in inflight.get("tickets", ()):
+                pool.discard(ticket)
 
     @staticmethod
     def _rows_of(values: list[Any]) -> int:
@@ -259,7 +301,19 @@ class StagingService:
         resilience = self.config.resilience
         report = StepReport(step=step)
         my_computes = self.client.compute_ranks_of(comm.rank)
-        inflight: dict = {"node": node, "alloc": 0.0, "fetcher": None}
+        flow = self.client.flow
+        pool = (
+            flow.pool_for(comm.node_id)
+            if flow is not None and node is not None
+            else None
+        )
+        inflight: dict = {
+            "node": node,
+            "alloc": 0.0,
+            "fetcher": None,
+            "pool": pool,
+            "tickets": [],
+        }
         if resilience is not None:
             self._inflight[comm.rank] = inflight
 
@@ -399,17 +453,32 @@ class StagingService:
                     obs.metrics.inc(
                         "bytes_fetched", req.logical_nbytes, stage=comm.rank
                     )
-                if node is not None:
+                ticket = None
+                if pool is not None:
+                    # Flow control: the chunk's bytes come from the
+                    # governed buffer pool — a full pool blocks the
+                    # fetcher here (backpressure) instead of crashing
+                    # the node ledger with MemoryError_.
+                    ticket = yield from pool.acquire(
+                        (comm.rank, req.compute_rank, step), req.logical_nbytes
+                    )
+                    inflight["tickets"].append(ticket)
+                    pool.unpin(ticket)  # parked in the queue: spillable
+                elif node is not None:
                     node.allocate(req.logical_nbytes)
                     inflight["alloc"] += req.logical_nbytes
-                yield chunk_store.put((req, payload))
+                yield chunk_store.put((req, payload, ticket))
 
         fproc = env.process(fetcher(), name=f"fetch[{comm.rank}]s{step}")
         inflight["fetcher"] = fproc
         t_stream0 = env.now
         map_busy = 0.0
         for _ in requests:
-            req, payload = yield chunk_store.get()
+            req, payload, ticket = yield chunk_store.get()
+            if ticket is not None:
+                # re-pin for Map; unspills from the file system if the
+                # chunk went cold under memory pressure
+                yield from pool.ensure_resident(ticket)
             report.bytes_fetched += req.logical_nbytes
             step_obj = OutputStep.unpack(self.group, payload)
             volume_scale = step_obj.volume_scale
@@ -430,9 +499,17 @@ class StagingService:
                     "map", "pipeline", t_m, tid=tid, step=step,
                     compute_rank=req.compute_rank,
                 )
-            if node is not None:
+            if ticket is not None:
+                pool.release(ticket)
+                try:
+                    inflight["tickets"].remove(ticket)
+                except ValueError:
+                    pass
+                flow.release_credits((req.compute_rank, step))
+            elif node is not None:
                 node.free(req.logical_nbytes)
                 inflight["alloc"] -= req.logical_nbytes
+            if node is not None:
                 report.peak_buffer_bytes = max(
                     report.peak_buffer_bytes, node.memory_high_water
                 )

@@ -36,6 +36,7 @@ from repro.adios.io import SyncMPIIO
 from repro.core import PreDatA
 from repro.experiments.report import fmt_pct, fmt_seconds, format_table
 from repro.faults import FaultInjector, ResilienceConfig
+from repro.flow import FlowConfig
 from repro.machine import Machine, TESTING_TINY
 from repro.mpi import World
 from repro.operators.array_merge import ArrayMergeOperator
@@ -98,6 +99,13 @@ class ChaosRun:
     engine: Engine = field(repr=False, default=None)
     predata: PreDatA = field(repr=False, default=None)
     injector: Optional[FaultInjector] = field(repr=False, default=None)
+    # -- flow-control counters (all zero when flow is disabled) -----------
+    flow_spill_bytes: float = 0.0
+    flow_unspill_bytes: float = 0.0
+    flow_mean_sojourn: float = 0.0
+    flow_rejections: int = 0
+    flow_overflow_steps: int = 0
+    flow_pool_waits: int = 0
 
 
 @dataclass
@@ -136,6 +144,9 @@ def run_once(
     resilience: Optional[ResilienceConfig] = None,
     make_injector: bool = True,
     obs=None,
+    flow: Optional[FlowConfig] = None,
+    flow_fraction: Optional[float] = None,
+    fetch_pipeline_depth: int = 2,
 ) -> ChaosRun:
     """One complete chaos scenario; returns metrics + readable files.
 
@@ -153,6 +164,12 @@ def run_once(
     its complete absence.  ``obs`` binds an
     :class:`repro.obs.Observability` sink to the run's engine so the
     crash/detection/recovery protocol shows up as trace instants.
+
+    ``flow`` / ``flow_fraction`` enable the flow-control subsystem:
+    ``flow_fraction=f`` caps each staging node's buffer pool at ``f``
+    times its per-step working set.  ``fetch_pipeline_depth`` is
+    forwarded to the staging service (deeper pipelines buffer more
+    chunks concurrently, exercising spill under a capped pool).
     """
     eng = Engine()
     if obs is not None:
@@ -169,6 +186,11 @@ def run_once(
     writer = BPWriter("merged.bp", FIELD_GROUP)
     op = ArrayMergeOperator(["rho"], out_group=FIELD_GROUP, writer=writer)
     fallback = SyncMPIIO(machine.filesystem)
+    flow_cfg = flow
+    if flow_cfg is None and flow_fraction is not None:
+        # one step's logical bytes landing on each staging node
+        working_set = rep_ranks * real_bytes * scale / nstaging_nodes
+        flow_cfg = FlowConfig(pool_bytes=flow_fraction * working_set)
     predata = PreDatA(
         eng,
         machine,
@@ -178,8 +200,10 @@ def run_once(
         nsteps=nsteps,
         procs_per_staging_node=procs_per_staging_node,
         volume_scale=scale,
+        fetch_pipeline_depth=fetch_pipeline_depth,
         resilience=resilience or ResilienceConfig(),
         fallback_io=fallback,
+        flow=flow_cfg,
     )
     crash_t = kill_step * io_interval + kill_offset
     injector = None
@@ -241,6 +265,7 @@ def run_once(
         )
         if commit is not None and commit > crash_t:
             recovery = commit - crash_t
+    fc = predata.flow
     return ChaosRun(
         logical_ranks=logical_ranks,
         rep_ranks=rep_ranks,
@@ -261,6 +286,14 @@ def run_once(
         engine=eng,
         predata=predata,
         injector=injector,
+        flow_spill_bytes=fc.spill_bytes() if fc else 0.0,
+        flow_unspill_bytes=fc.unspill_bytes() if fc else 0.0,
+        flow_mean_sojourn=fc.mean_sojourn() if fc else 0.0,
+        flow_rejections=fc.rejections() if fc else 0,
+        flow_overflow_steps=predata.transport.overflow_steps,
+        flow_pool_waits=(
+            sum(p.waits for p in fc.pools.values()) if fc else 0
+        ),
     )
 
 
@@ -301,6 +334,23 @@ def fingerprint(run: ChaosRun) -> str:
     for s in sorted(run.predata.service.commit_times):
         h.update(f"commit|{s}|{run.predata.service.commit_times[s]:.9f};".encode())
     h.update(f"wall|{run.wall_seconds:.9f};".encode())
+    if run.predata.flow is not None:
+        # Flow-control schedule digest — only mixed in when flow is
+        # enabled so pre-flow fingerprints stay exactly comparable.
+        fc = run.predata.flow
+        for nid in sorted(fc.pools):
+            p = fc.pools[nid]
+            h.update(
+                f"pool|{nid}|{p.spills}|{p.unspills}|{p.waits}|"
+                f"{p.spill_bytes:.3f}|{p.peak_bytes:.3f}|"
+                f"{p.wait_seconds:.9f};".encode()
+            )
+        for rank in sorted(fc.banks):
+            b = fc.banks[rank]
+            h.update(
+                f"bank|{rank}|{b.grants}|{b.rejections}|{b.forced}|"
+                f"{b.total_sojourn:.9f};".encode()
+            )
     for f in (run.merged, run.fallback_file):
         if f is None:
             continue
@@ -346,13 +396,20 @@ def run_chaos(
     return rows
 
 
-def main(trace: Optional[str] = None) -> None:
+def main(
+    trace: Optional[str] = None, flow_fraction: Optional[float] = None
+) -> None:
     """Print the chaos-recovery series (one staging node killed mid-step).
 
     ``trace``: path of a Chrome ``trace_event`` JSON to write; fault
     and baseline runs each get a track group, recovery-protocol events
     (crash/detected/recovery/replayed) appear as instants, and the
     metrics summary is printed after the table.
+
+    ``flow_fraction``: enable flow control with the staging buffer
+    pool capped at that fraction of the per-node working set (the
+    ``--flow`` CLI flag); a deeper fetch pipeline is used so the cap
+    genuinely bites.
     """
     obs = None
     kwargs = {}
@@ -361,6 +418,9 @@ def main(trace: Optional[str] = None) -> None:
 
         obs = Observability(label="chaos")
         kwargs["obs"] = obs
+    if flow_fraction is not None:
+        kwargs["flow_fraction"] = flow_fraction
+        kwargs["fetch_pipeline_depth"] = 6
     rows = run_chaos(**kwargs)
     table = [
         [
@@ -413,8 +473,14 @@ def _cli(argv=None) -> None:
         help="write a Chrome trace (default PATH: chaos_trace.json) "
              "plus a .jsonl sidecar and a metrics summary",
     )
+    p.add_argument(
+        "--flow", nargs="?", const=0.25, default=None, type=float,
+        metavar="FRACTION",
+        help="enable flow control; cap each staging node's buffer pool "
+             "at FRACTION of its per-step working set (default 0.25)",
+    )
     a = p.parse_args(argv)
-    main(trace=a.trace)
+    main(trace=a.trace, flow_fraction=a.flow)
 
 
 if __name__ == "__main__":

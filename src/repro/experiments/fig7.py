@@ -147,12 +147,20 @@ def _cli(argv=None) -> None:
              "plus a .jsonl sidecar and a metrics summary",
     )
     p.add_argument("--fast", action="store_true", help="trimmed runs")
+    p.add_argument(
+        "--flow", nargs="?", const=0.25, default=None, type=float,
+        metavar="FRACTION",
+        help="enable flow control; cap each staging node's buffer pool "
+             "at FRACTION of its per-step working set (default 0.25)",
+    )
     a = p.parse_args(argv)
     kw = (
         dict(ndumps=1, iterations_per_dump=2,
              compute_seconds_per_iteration=10.0)
         if a.fast else {}
     )
+    if a.flow is not None:
+        kw["flow_fraction"] = a.flow
     main(trace=a.trace, **kw)
 
 

@@ -24,6 +24,7 @@ from repro.apps.pixie3d import (
 from repro.core.middleware import PreDatA
 from repro.core.operator import PreDatAOperator, StepReport
 from repro.core.placement import InComputeNodeRunner, InComputeTiming
+from repro.flow import FlowConfig
 from repro.machine.machine import Machine
 from repro.machine.presets import JAGUAR_XT4, JAGUAR_XT5, MachineSpec
 from repro.mpi.world import World
@@ -105,6 +106,9 @@ class GTCRunResult:
     rep_ranks: int = 0
     visible_write_seconds: float = 0.0
     interference_pct: float = 0.0  # main-loop slowdown vs baseline
+    flow_spill_bytes: float = 0.0  # flow control: bytes spilled to FS
+    flow_mean_sojourn: float = 0.0  # flow control: mean credit wait (s)
+    flow_rejections: int = 0  # flow control: CoDel-degraded writes
 
 
 def _scaled_fs(spec: MachineSpec, rep_factor: float):
@@ -148,6 +152,8 @@ def run_gtc(
     fs_interference: bool = True,
     operators_factory: Optional[Callable] = None,
     obs: Optional[Any] = None,
+    flow: Optional[FlowConfig] = None,
+    flow_fraction: Optional[float] = None,
 ) -> GTCRunResult:
     """One GTC run at *cores* under the chosen operator *placement*.
 
@@ -159,6 +165,12 @@ def run_gtc(
     ``obs``: an :class:`repro.obs.Observability` sink; when given it is
     bound to the run's engine so every pipeline phase is traced (one
     Perfetto track group per run).  None (default) disables tracing.
+
+    ``flow`` enables flow control with an explicit
+    :class:`~repro.flow.FlowConfig`; ``flow_fraction`` is the
+    convenience form — the staging buffer pool is capped at that
+    fraction of the per-staging-node working set (one dump step's
+    bytes landing on the node).
     """
     if placement not in ("staging", "incompute", "none"):
         raise ValueError(f"bad placement {placement!r}")
@@ -199,6 +211,14 @@ def run_gtc(
         ops = (operators_factory or gtc_operators)(
             operation, machine.filesystem
         )
+        flow_cfg = flow
+        if flow_cfg is None and flow_fraction is not None:
+            # Working set = one dump step's logical bytes landing on
+            # each staging node (both particle arrays).
+            working_set = (
+                r * cfg.logical_bytes_per_proc / machine.n_staging_nodes
+            )
+            flow_cfg = FlowConfig(pool_bytes=flow_fraction * working_set)
         predata = PreDatA(
             eng,
             machine,
@@ -210,6 +230,7 @@ def run_gtc(
             scheduled_movement=scheduled,
             fetch_rate_cap=fetch_rate_cap,
             model_size=staging_logical,
+            flow=flow_cfg,
         )
         predata.start()
         transport = predata.transport
@@ -250,6 +271,10 @@ def run_gtc(
         )
         # staging adds its own cores to the CPU bill (1.5% extra)
         result.cpu_seconds = metrics.total * (cores + cores // 64)
+        if predata.flow is not None:
+            result.flow_spill_bytes = predata.flow.spill_bytes()
+            result.flow_mean_sojourn = predata.flow.mean_sojourn()
+            result.flow_rejections = predata.flow.rejections()
     else:
         result.visible_write_seconds = metrics.io_blocking / ndumps
         if runner is not None:

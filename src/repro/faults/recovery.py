@@ -152,6 +152,12 @@ class ResilienceController:
         for rank in ranks:
             self.world.deactivate_rank(rank)
             self.client.mark_stager_failed(rank)
+        if self.client.flow is not None:
+            # Move the dead ranks' outstanding byte credits to the
+            # failover owners (routing already excludes the dead), so
+            # adopted chunks release cleanly and budgets don't leak.
+            for rank in ranks:
+                self.client.flow.on_stager_failed(rank, self._flow_reroute)
         survivors = [
             r for r in self.world.active_ranks if r not in self.detector.failed
         ]
@@ -193,6 +199,13 @@ class ResilienceController:
                     self._redeliver(crank, step, request),
                     name=f"redeliver c{crank}s{step}",
                 )
+
+    def _flow_reroute(self, compute_rank: int):
+        """Surviving owner of one compute rank (None = nobody left)."""
+        try:
+            return self.client.route(compute_rank)
+        except Exception:
+            return None
 
     def _purge_boxes(self) -> None:
         for box in self.client._request_boxes.values():

@@ -151,12 +151,15 @@ class ParallelFileSystem:
         nclients: int = 1,
         stripes: Optional[int] = None,
         metadata_ops: int = 1,
+        label: Optional[str] = None,
     ) -> Generator:
         """Process body: write *nbytes* spread over *nclients* streams.
 
         Returns elapsed seconds.  Aggregate-pipe sharing plus the
         per-client cap model both the many-writers regime (aggregate
-        bound) and the few-writers regime (client bound).
+        bound) and the few-writers regime (client bound).  ``label``
+        names the traffic class in traces (e.g. flow-control spill I/O
+        competing with ordinary output on the same OSTs).
         """
         if nbytes < 0:
             raise ValueError("write size must be non-negative")
@@ -182,7 +185,7 @@ class ParallelFileSystem:
         obs = self.env.obs
         if obs is not None:
             obs.span(
-                "fs_write", "io", start, tid="filesystem",
+                "fs_write", "io", start, tid=label or "filesystem",
                 nbytes=nbytes, nclients=nclients,
             )
             obs.metrics.inc("fs_bytes_written", nbytes)
@@ -196,6 +199,7 @@ class ParallelFileSystem:
         extents: int = 1,
         stripes: Optional[int] = None,
         metadata_ops: int = 1,
+        label: Optional[str] = None,
     ) -> Generator:
         """Process body: read *nbytes* in *extents* discontiguous pieces.
 
@@ -226,7 +230,7 @@ class ParallelFileSystem:
         obs = self.env.obs
         if obs is not None:
             obs.span(
-                "fs_read", "io", start, tid="filesystem",
+                "fs_read", "io", start, tid=label or "filesystem",
                 nbytes=nbytes, nclients=nclients, extents=extents,
             )
             obs.metrics.inc("fs_bytes_read", nbytes)

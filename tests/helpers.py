@@ -74,6 +74,9 @@ def run_staging_pipeline(
     scheduled=True,
     fs_interference=False,
     obs=None,
+    flow=None,
+    fetch_pipeline_depth=2,
+    node_memory_bytes=None,
 ):
     """Run a small end-to-end Staging-configuration pipeline.
 
@@ -83,11 +86,18 @@ def run_staging_pipeline(
     eng = Engine()
     if obs is not None:
         obs.bind(eng, label="test-pipeline")
+    spec = TESTING_TINY
+    if node_memory_bytes is not None:
+        from dataclasses import replace
+
+        spec = replace(
+            spec, node=replace(spec.node, memory_bytes=node_memory_bytes)
+        )
     machine = Machine(
         eng,
         nprocs,
         nstaging_nodes,
-        spec=TESTING_TINY,
+        spec=spec,
         fs_interference=fs_interference,
     )
     app_world = World(
@@ -108,6 +118,8 @@ def run_staging_pipeline(
         procs_per_staging_node=procs_per_staging_node,
         volume_scale=scale,
         scheduled_movement=scheduled,
+        fetch_pipeline_depth=fetch_pipeline_depth,
+        flow=flow,
     )
     predata.start()
     visible = {}
