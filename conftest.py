@@ -1,0 +1,10 @@
+"""Repository-root pytest configuration.
+
+Registers the verification subsystem's pytest plugin
+(:mod:`repro.check.pytest_plugin`): the ``fuzz_schedule`` marker and
+the ``fuzz_seed`` / ``tie_breaker`` / ``invariant_checker`` /
+``schedule_trace`` fixtures.  Plugin registration must live in the
+rootdir conftest (pytest requirement).
+"""
+
+pytest_plugins = ["repro.check.pytest_plugin"]

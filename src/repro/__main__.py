@@ -11,6 +11,9 @@ Commands map to the experiment harness:
 - ``headline``       — §V prose numbers, paper vs measured
 - ``utilization``    — staging-node headroom between dumps
 - ``chaos``          — staging-node crash recovery (resilience)
+- ``check``          — verification: schedule fuzzing, pipeline
+  invariants, differential operator oracles (``--fuzz N`` etc.; see
+  ``python -m repro check --help``)
 
 ``fig7``, ``headline`` and ``chaos`` accept ``--trace [PATH]`` to dump
 a Chrome ``trace_event`` file (viewable in https://ui.perfetto.dev), a
@@ -29,10 +32,17 @@ def main(argv=None) -> int:
         prog="python -m repro",
         description="PreDatA (IPDPS 2010) reproduction harness",
     )
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "check":
+        # the verification CLI owns its own argument set
+        from repro.check.cli import main as check_main
+
+        return check_main(argv[1:])
     parser.add_argument(
         "command",
         choices=["run-all", "fig7", "fig8", "fig9", "fig10", "fig11",
-                 "headline", "utilization", "chaos"],
+                 "headline", "utilization", "chaos", "check"],
         help="experiment to run",
     )
     parser.add_argument("--fast", action="store_true",

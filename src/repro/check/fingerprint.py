@@ -1,0 +1,101 @@
+"""Physics-level result fingerprinting.
+
+:func:`result_fingerprint` digests *what the pipeline computed* — every
+operator's ``finalize()`` output on every (step, staging rank) — and
+nothing about *when*: no timings, no event counts, no flow or fault
+telemetry.  This is the value the schedule-perturbation fuzzer asserts
+invariant across reorderings of simultaneous events: schedules may
+differ, the answer may not.
+
+Values are digested structurally (arrays by dtype/shape/bytes,
+containers recursively, dataclasses by field) rather than through
+``repr``, so object identities and float formatting cannot leak into
+the hash.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from typing import Any
+
+import numpy as np
+
+__all__ = ["result_fingerprint", "digest_value"]
+
+
+def _update(h, v: Any) -> None:
+    if v is None:
+        h.update(b"none;")
+    elif isinstance(v, np.ndarray):
+        h.update(f"nd|{v.dtype.str}|{v.shape}|".encode())
+        h.update(np.ascontiguousarray(v).tobytes())
+        h.update(b";")
+    elif isinstance(v, (np.generic,)):
+        _update(h, np.asarray(v))
+    elif isinstance(v, (bool, int, float, complex, str, bytes)):
+        h.update(f"s|{type(v).__name__}|{v!r};".encode())
+    elif isinstance(v, dict):
+        h.update(f"d|{len(v)}|".encode())
+        for k in sorted(v, key=repr):
+            h.update(f"k|{k!r}|".encode())
+            _update(h, v[k])
+        h.update(b";")
+    elif isinstance(v, (list, tuple)):
+        h.update(f"l|{len(v)}|".encode())
+        for item in v:
+            _update(h, item)
+        h.update(b";")
+    elif dataclasses.is_dataclass(v) and not isinstance(v, type):
+        h.update(f"dc|{type(v).__name__}|".encode())
+        for f in dataclasses.fields(v):
+            h.update(f"f|{f.name}|".encode())
+            _update(h, getattr(v, f.name))
+        h.update(b";")
+    elif hasattr(v, "values") and hasattr(v, "edges") and hasattr(v, "bitmaps"):
+        # repro.operators.bitmap.BitmapIndex (duck-typed: the check
+        # layer digests it by content, not identity)
+        h.update(b"bix|")
+        _update(h, np.asarray(v.values))
+        _update(h, np.asarray(v.edges))
+        h.update(b";")
+    else:
+        # Last resort: a stable-looking repr.  Object default reprs
+        # embed memory addresses and would break determinism — treat
+        # that as a programming error worth surfacing.
+        r = repr(v)
+        if " at 0x" in r:
+            raise TypeError(
+                f"result_fingerprint: cannot digest {type(v).__name__} "
+                "deterministically (repr carries an object address); "
+                "teach fingerprint.py about this type"
+            )
+        h.update(f"r|{r};".encode())
+
+
+def digest_value(v: Any) -> str:
+    """SHA-256 of one value under the structural digest rules."""
+    h = hashlib.sha256()
+    _update(h, v)
+    return h.hexdigest()
+
+
+def result_fingerprint(predata) -> str:
+    """Digest of every operator result of a finished PreDatA run.
+
+    Covers ``service.results[op][step][rank]`` for all operators,
+    steps and staging ranks — the 'physics' of the run.  Two runs
+    disagreeing here computed different answers, whatever their
+    schedules looked like.
+    """
+    h = hashlib.sha256()
+    results = predata.service.results
+    for op_name in sorted(results):
+        h.update(f"op|{op_name}|".encode())
+        steps = results[op_name]
+        for step in sorted(steps):
+            h.update(f"step|{step}|".encode())
+            for rank in sorted(steps[step]):
+                h.update(f"rank|{rank}|".encode())
+                _update(h, steps[step][rank])
+    return h.hexdigest()

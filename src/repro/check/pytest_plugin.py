@@ -1,0 +1,76 @@
+"""Pytest integration for the verification subsystem.
+
+Registered from the repository-root ``conftest.py`` via
+``pytest_plugins = ["repro.check.pytest_plugin"]``.  Provides:
+
+- ``@pytest.mark.fuzz_schedule(n=..., base_seed=...)`` — parametrizes
+  the test over ``n`` tie-breaker seeds; the test requests the
+  ``fuzz_seed`` and/or ``tie_breaker`` fixtures and runs once per
+  perturbed schedule.
+- ``tie_breaker`` fixture — a :class:`~repro.sim.SeededTieBreaker`
+  for the current ``fuzz_seed`` (or None outside a fuzz run, keeping
+  the workload on the byte-identical default schedule).
+- ``invariant_checker`` fixture — a fresh
+  :class:`~repro.check.Checker` to bind to an engine; tests call
+  ``checker.verify(predata)`` after drain.
+- ``schedule_trace`` fixture — a fresh
+  :class:`~repro.check.ScheduleTrace` to attach to an engine.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.check.invariants import Checker
+from repro.check.trace import ScheduleTrace
+from repro.sim import SeededTieBreaker
+
+_MARKER = "fuzz_schedule"
+
+
+def pytest_configure(config):
+    """Register the ``fuzz_schedule`` marker."""
+    config.addinivalue_line(
+        "markers",
+        f"{_MARKER}(n=5, base_seed=0): run the test once per seeded "
+        "schedule perturbation; request the fuzz_seed / tie_breaker "
+        "fixtures to pick up the current seed.",
+    )
+
+
+def pytest_generate_tests(metafunc):
+    """Parametrize ``fuzz_seed`` over the marker's seed range."""
+    marker = metafunc.definition.get_closest_marker(_MARKER)
+    if marker is None or "fuzz_seed" not in metafunc.fixturenames:
+        return
+    n = int(marker.kwargs.get("n", marker.args[0] if marker.args else 5))
+    base = int(marker.kwargs.get("base_seed", 0))
+    metafunc.parametrize(
+        "fuzz_seed", range(base, base + n), ids=[f"seed{s}" for s in range(base, base + n)]
+    )
+
+
+@pytest.fixture
+def fuzz_seed():
+    """Current perturbation seed; overridden by @fuzz_schedule params."""
+    return None
+
+
+@pytest.fixture
+def tie_breaker(fuzz_seed):
+    """SeededTieBreaker for the current seed (None → default schedule)."""
+    if fuzz_seed is None:
+        return None
+    return SeededTieBreaker(fuzz_seed)
+
+
+@pytest.fixture
+def invariant_checker():
+    """Fresh conservation-invariant checker to bind to an engine."""
+    return Checker()
+
+
+@pytest.fixture
+def schedule_trace():
+    """Fresh executed-schedule recorder to attach to an engine."""
+    return ScheduleTrace()

@@ -180,6 +180,8 @@ class StagingClient:
         steps that completed globally before a crash.
         """
         self._requests_log.pop((compute_rank, step), None)
+        if self.env.check is not None:
+            self.env.check.on_committed((compute_rank, step))
         rec = self._buffers.pop((compute_rank, step), None)
         if rec is not None:
             self.machine.node(rec.node_id).free(rec.logical_nbytes)
@@ -267,6 +269,10 @@ class StagingClient:
             node_id=comm.node_id,
         )
         pending.append(freed)
+        if env.check is not None:
+            env.check.on_packed(
+                (comm.rank, step.step), step.nbytes_logical, comm.node_id
+            )
 
         # Stage 1c: data-fetch request to the routed staging process.
         request = FetchRequest(
@@ -369,6 +375,8 @@ class StagingClient:
         if not self.resilient:
             self.machine.node(rec.node_id).free(rec.logical_nbytes)
             rec.freed.succeed()
+        if self.env.check is not None:
+            self.env.check.on_fetched(key, rec.logical_nbytes)
         return rec.payload
 
     @property
@@ -399,6 +407,10 @@ class StagingTransport(IOMethod):
         if self.client.has_live_stagers:
             yield from self.client.skip_step(comm, step.step)
         self.degraded_steps += 1
+        if comm.env.check is not None:
+            comm.env.check.on_degraded(
+                (comm.rank, step.step), step.nbytes_logical
+            )
 
     def write_step(self, comm: Communicator, step: OutputStep) -> Generator:
         if self.client.degraded and self.fallback is not None:

@@ -92,6 +92,7 @@ class MovementScheduler:
         immediately).
         """
         deferred = 0.0
+        forced = False
         if self.enabled and self.in_comm_phase(node_id):
             start = self.env.now
             self.deferred_fetches += 1
@@ -103,6 +104,7 @@ class MovementScheduler:
                     self._clear_events[node_id] = ev
                 fired = yield self.env.any_of([ev, deadline])
                 if deadline in fired:
+                    forced = True
                     break  # anti-starvation: proceed despite the phase
             deferred = self.env.now - start
             self.total_defer_seconds += deferred
@@ -114,6 +116,11 @@ class MovementScheduler:
                 )
                 obs.metrics.inc("scheduler_defers", node=node_id)
                 obs.metrics.inc("scheduler_defer_seconds", deferred, node=node_id)
+        in_phase = self.enabled and self.in_comm_phase(node_id)
         if self.pressure is not None and dst_node is not None:
             deferred += yield from self.pressure.admit(dst_node, nbytes)
+        if self.env.check is not None:
+            self.env.check.on_movement_admitted(
+                node_id, in_phase=in_phase, forced=forced
+            )
         return deferred

@@ -260,6 +260,8 @@ class StagingService:
                     self.restarts += 1
                     if self.env.obs is not None:
                         self.env.obs.metrics.inc("step_restarts", stage=comm.rank)
+                    if self.env.check is not None:
+                        self.env.check.on_restart(comm.rank, cause.restart_step)
                     step = cause.restart_step
                     continue
                 raise
@@ -499,6 +501,10 @@ class StagingService:
                     "map", "pipeline", t_m, tid=tid, step=step,
                     compute_rank=req.compute_rank,
                 )
+            if env.check is not None:
+                env.check.on_mapped(
+                    (req.compute_rank, step), req.logical_nbytes
+                )
             if ticket is not None:
                 pool.release(ticket)
                 try:
@@ -683,6 +689,8 @@ class StagingService:
             if proc.is_alive:
                 proc.interrupt("fetch timed out")
             self.fetch_retries += 1
+            if env.check is not None:
+                env.check.on_retry((req.compute_rank, step), attempt)
             if env.obs is not None:
                 env.obs.metrics.inc("fetch_retries", stage=comm.rank)
                 env.obs.instant(

@@ -147,6 +147,9 @@ def run_once(
     flow: Optional[FlowConfig] = None,
     flow_fraction: Optional[float] = None,
     fetch_pipeline_depth: int = 2,
+    tie_breaker=None,
+    schedule_trace=None,
+    check=None,
 ) -> ChaosRun:
     """One complete chaos scenario; returns metrics + readable files.
 
@@ -170,8 +173,16 @@ def run_once(
     times its per-step working set.  ``fetch_pipeline_depth`` is
     forwarded to the staging service (deeper pipelines buffer more
     chunks concurrently, exercising spill under a capped pool).
+
+    ``tie_breaker``/``schedule_trace``/``check`` are the verification
+    subsystem's engine hooks (see :mod:`repro.check`); all default off
+    and leave the run byte-identical.
     """
-    eng = Engine()
+    eng = Engine(tie_breaker=tie_breaker)
+    if schedule_trace is not None:
+        eng.schedule_trace = schedule_trace
+    if check is not None:
+        check.bind(eng)
     if obs is not None:
         kind = "fault" if inject else "baseline"
         obs.bind(eng, label=f"chaos:{logical_ranks}:{kind}")

@@ -109,6 +109,9 @@ class GTCRunResult:
     flow_spill_bytes: float = 0.0  # flow control: bytes spilled to FS
     flow_mean_sojourn: float = 0.0  # flow control: mean credit wait (s)
     flow_rejections: int = 0  # flow control: CoDel-degraded writes
+    #: live facade of a staging run (operator results, client state) —
+    #: the verification subsystem fingerprints/inspects it post-run
+    predata: Any = field(default=None, repr=False)
 
 
 def _scaled_fs(spec: MachineSpec, rep_factor: float):
@@ -154,6 +157,9 @@ def run_gtc(
     obs: Optional[Any] = None,
     flow: Optional[FlowConfig] = None,
     flow_fraction: Optional[float] = None,
+    tie_breaker: Optional[Any] = None,
+    schedule_trace: Optional[Any] = None,
+    check: Optional[Any] = None,
 ) -> GTCRunResult:
     """One GTC run at *cores* under the chosen operator *placement*.
 
@@ -171,6 +177,13 @@ def run_gtc(
     convenience form — the staging buffer pool is capped at that
     fraction of the per-staging-node working set (one dump step's
     bytes landing on the node).
+
+    ``tie_breaker``/``schedule_trace``/``check`` belong to the
+    verification subsystem (:mod:`repro.check`): a seeded
+    :class:`~repro.sim.SeededTieBreaker` perturbs same-time event
+    order, a :class:`~repro.check.ScheduleTrace` records the executed
+    schedule, and a :class:`~repro.check.Checker` audits the pipeline's
+    conservation invariants.  All default off (byte-identical run).
     """
     if placement not in ("staging", "incompute", "none"):
         raise ValueError(f"bad placement {placement!r}")
@@ -179,7 +192,11 @@ def run_gtc(
     rep_factor = procs / r
     spec_scaled = replace(spec, filesystem=_scaled_fs(spec, rep_factor))
 
-    eng = Engine()
+    eng = Engine(tie_breaker=tie_breaker)
+    if schedule_trace is not None:
+        eng.schedule_trace = schedule_trace
+    if check is not None:
+        check.bind(eng)
     if obs is not None:
         obs.bind(eng, label=f"gtc:{operation}:{cores}:{placement}")
     n_staging_nodes = max(1, (r_s + 1) // 2) if placement == "staging" else 0
@@ -262,6 +279,7 @@ def run_gtc(
         rep_ranks=r,
     )
     if placement == "staging":
+        result.predata = predata
         result.staging_reports = [
             predata.service.step_report(s) for s in range(ndumps)
         ]

@@ -50,6 +50,12 @@ class FaultInjector:
         self._fetch_plans: dict[tuple[int, int], list[tuple[str, float]]] = {}
         self._random_fetch: Optional[dict] = None
 
+    def _record(self, kind: str, at: float, detail) -> None:
+        """Log one fired fault (and notify the invariant checker)."""
+        self.injected.append((kind, at, detail))
+        if self.env.check is not None:
+            self.env.check.on_fault(kind, detail)
+
     # -- scheduling helpers ----------------------------------------------
     def _at(self, at: float, fire) -> None:
         """Run ``fire()`` at simulated time *at* (now if already past)."""
@@ -73,7 +79,7 @@ class FaultInjector:
             node = self.machine.node(node_id)
             if node.alive:
                 node.fail()
-                self.injected.append(("crash", self.env.now, node_id))
+                self._record("crash", self.env.now, node_id)
 
         self._at(at, fire)
 
@@ -100,7 +106,7 @@ class FaultInjector:
         if not self.enabled:
             return
         self.machine.network.degrade_link(node_id, at, at + duration, factor)
-        self.injected.append(("degrade_link", at, (node_id, duration, factor)))
+        self._record("degrade_link", at, (node_id, duration, factor))
 
     def stall_filesystem(
         self, *, at: float, duration: float, floor: float = 0.05
@@ -109,7 +115,7 @@ class FaultInjector:
         if not self.enabled:
             return
         self.machine.filesystem.stall_window(at, at + duration, floor)
-        self.injected.append(("fs_stall", at, (duration, floor)))
+        self._record("fs_stall", at, (duration, floor))
 
     # -- fetch faults ------------------------------------------------------
     def drop_fetch(
@@ -172,21 +178,21 @@ class FaultInjector:
         plan = self._fetch_plans.get((compute_rank, step))
         if plan and attempt < len(plan):
             mode, delay = plan[attempt]
-            self.injected.append(
-                (f"fetch_{mode}", self.env.now, (compute_rank, step, attempt))
+            self._record(
+                f"fetch_{mode}", self.env.now, (compute_rank, step, attempt)
             )
             return (mode, delay)
         if self._random_fetch and attempt == 0:
             rf = self._random_fetch
             u = float(self.rng.random())
             if u < rf["drop_prob"]:
-                self.injected.append(
-                    ("fetch_drop", self.env.now, (compute_rank, step, attempt))
+                self._record(
+                    "fetch_drop", self.env.now, (compute_rank, step, attempt)
                 )
                 return ("drop", rf["drop_delay"])
             if u < rf["drop_prob"] + rf["slow_prob"]:
-                self.injected.append(
-                    ("fetch_slow", self.env.now, (compute_rank, step, attempt))
+                self._record(
+                    "fetch_slow", self.env.now, (compute_rank, step, attempt)
                 )
                 return ("slow", rf["slow_seconds"])
         return None

@@ -117,6 +117,8 @@ class FlowControl:
         )
         if granted:
             self._grant_owner[key] = rank
+            if self.env.check is not None:
+                self.env.check.on_credit_granted(key, nbytes, rank)
         return granted
 
     def release_credits(self, key) -> None:
@@ -124,6 +126,8 @@ class FlowControl:
         rank = self._grant_owner.pop(key, None)
         if rank is not None:
             self.banks[rank].release(key)
+            if self.env.check is not None:
+                self.env.check.on_credit_released(key, rank)
 
     def on_stager_failed(
         self, dead_rank: int, reroute: Callable[[int], Optional[int]]
@@ -143,6 +147,9 @@ class FlowControl:
             new_rank = reroute(compute_rank)
             if new_rank is None or new_rank == dead_rank:
                 self._grant_owner.pop(key, None)
+                if self.env.check is not None:
+                    # revoke_all already returned the bytes to the bank
+                    self.env.check.on_credit_released(key, dead_rank)
                 continue
             self.banks[new_rank].force_grant(key, nbytes)
             self._grant_owner[key] = new_rank

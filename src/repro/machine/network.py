@@ -23,6 +23,7 @@ describes (≤6 % main-loop slowdown when movement is well scheduled).
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass, field
 from math import ceil, log2
 from typing import Generator, Optional
@@ -31,7 +32,24 @@ from repro.sim.engine import Engine, Event
 from repro.sim.resources import SharedBandwidth
 from repro.machine.topology import TorusTopology
 
-__all__ = ["NetworkConfig", "Network", "NIC"]
+__all__ = ["NetworkConfig", "Network", "NIC", "registry_mark", "live_networks"]
+
+#: weak refs to every Network ever constructed, in creation order.  The
+#: benchmark harness brackets an experiment with :func:`registry_mark` /
+#: :func:`live_networks` to attribute simulated time and bytes moved to
+#: the engines that experiment built internally.  Weak references keep
+#: this from pinning finished simulations in memory.
+_LIVE: list = []
+
+
+def registry_mark() -> int:
+    """Opaque cursor into the network registry (pass to live_networks)."""
+    return len(_LIVE)
+
+
+def live_networks(mark: int = 0) -> list:
+    """Networks created since *mark* that are still alive."""
+    return [net for ref in _LIVE[mark:] if (net := ref()) is not None]
 
 
 @dataclass(frozen=True)
@@ -99,6 +117,7 @@ class Network:
         self._avg_hops = max(topology.average_hops(), 1e-9)
         #: fault-injection hook: node -> [(start, end, factor), ...]
         self._degrade_windows: dict[int, list[tuple[float, float, float]]] = {}
+        _LIVE.append(weakref.ref(self))
 
     # -- fault hooks -------------------------------------------------------
     def degrade_link(

@@ -31,7 +31,9 @@ from repro.sim.engine import (
     Event,
     Interrupt,
     Process,
+    SeededTieBreaker,
     SimulationError,
+    TieBreaker,
     Timeout,
 )
 from repro.sim.resources import (
@@ -52,8 +54,10 @@ __all__ = [
     "PreemptionError",
     "Process",
     "Resource",
+    "SeededTieBreaker",
     "SharedBandwidth",
     "SimulationError",
     "Store",
+    "TieBreaker",
     "Timeout",
 ]

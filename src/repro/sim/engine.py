@@ -1,13 +1,20 @@
 """Generator-based discrete-event simulation engine.
 
-The engine keeps a priority queue of ``(time, priority, seq, event)``
-entries.  :class:`Process` objects wrap generators; each time the event a
-process is waiting on fires, the engine advances the generator, obtaining
-the next event to wait on.
+The engine keeps a priority queue of ``(time, priority, sub, seq,
+event)`` entries.  :class:`Process` objects wrap generators; each time
+the event a process is waiting on fires, the engine advances the
+generator, obtaining the next event to wait on.
 
-Determinism: all ties in the event queue are broken by a monotonically
+Determinism: ties in the event queue are broken first by an optional
+pluggable :class:`TieBreaker` sub-key and finally by a monotonically
 increasing sequence number, so a simulation with a fixed seed replays
-identically.  Nothing in the engine consults wall-clock time.
+identically.  The default tie-breaker assigns every entry sub-key 0 —
+pure insertion order, byte-identical to the engine before tie-breaking
+became pluggable.  A :class:`SeededTieBreaker` instead permutes the
+order of same-``(time, priority)`` events deterministically per seed,
+which is how the schedule-perturbation fuzzer in :mod:`repro.check`
+hunts for hidden ordering races.  Nothing in the engine consults
+wall-clock time.
 """
 
 from __future__ import annotations
@@ -23,6 +30,8 @@ __all__ = [
     "Process",
     "AnyOf",
     "AllOf",
+    "TieBreaker",
+    "SeededTieBreaker",
     "Engine",
 ]
 
@@ -312,6 +321,46 @@ class AllOf(_Condition):
             self.succeed(self._collect())
 
 
+class TieBreaker:
+    """Policy assigning the heap sub-key of same-``(time, priority)`` events.
+
+    The engine orders queue entries by ``(time, priority, sub, seq)``.
+    The base class returns ``sub = 0`` for every entry, so ordering
+    falls through to the insertion sequence number — byte-identical to
+    the engine's historical hard-coded behaviour.  Subclasses may
+    return any integer to reorder ties; the final ``seq`` component
+    keeps the sort total and the replay deterministic regardless.
+    """
+
+    def sub_key(self, time: float, priority: int, seq: int, event: "Event") -> int:
+        """Sub-key of one queue entry (called once, at enqueue)."""
+        return 0
+
+
+class SeededTieBreaker(TieBreaker):
+    """Deterministic pseudo-random permutation of event-queue ties.
+
+    Hashes the insertion sequence number with the seed (a splitmix64
+    round — no dependence on ``PYTHONHASHSEED`` or any global RNG), so
+    two runs with the same seed replay identically while different
+    seeds explore different legal orderings of simultaneous events.
+    """
+
+    _MASK = (1 << 64) - 1
+
+    def __init__(self, seed: int):
+        self.seed = int(seed)
+
+    def sub_key(self, time: float, priority: int, seq: int, event: "Event") -> int:
+        z = (seq * 0x9E3779B97F4A7C15 + self.seed * 0xBF58476D1CE4E5B9) & self._MASK
+        z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & self._MASK
+        z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & self._MASK
+        return (z ^ (z >> 31)) & self._MASK
+
+    def __repr__(self) -> str:
+        return f"SeededTieBreaker(seed={self.seed})"
+
+
 class Engine:
     """The discrete-event simulation engine.
 
@@ -321,6 +370,11 @@ class Engine:
         When True (default), an exception escaping a process marks the
         process failed instead of aborting the whole run; waiting on the
         failed process re-raises.  Set False to debug tracebacks.
+    tie_breaker:
+        Optional :class:`TieBreaker` supplying the sub-key that orders
+        same-``(time, priority)`` events.  ``None`` (default) assigns
+        sub-key 0 to every entry — insertion order, byte-identical to
+        the engine before tie-breaking became pluggable.
 
     Attributes
     ----------
@@ -330,16 +384,36 @@ class Engine:
         on ``env.obs is not None``, so the disabled pipeline carries no
         tracing overhead beyond one attribute read.  Attach one with
         ``Observability().bind(engine)``.
+    check:
+        Optional :class:`repro.check.Checker` invariant sink, ``None``
+        by default with the same guard discipline as ``obs``: every
+        conservation-accounting site across client/scheduler/staging/
+        flow/faults tests ``env.check is not None`` first, so the
+        disabled pipeline is byte-identical.
+    schedule_trace:
+        Optional :class:`repro.check.ScheduleTrace` recording every
+        event pop (time, priority, sub-key, label).  ``None`` by
+        default; the fuzzer attaches one to hash the executed schedule.
     """
 
-    def __init__(self, *, catch_errors: bool = True):
+    def __init__(
+        self,
+        *,
+        catch_errors: bool = True,
+        tie_breaker: Optional[TieBreaker] = None,
+    ):
         self._now = 0.0
-        self._queue: list[tuple[float, int, int, Event]] = []
+        self._queue: list[tuple[float, int, int, int, Event]] = []
         self._seq = 0
         self._active_process: Optional[Process] = None
         self._catch_errors = catch_errors
+        self._tie_breaker = tie_breaker
         #: observability sink (see class docstring); set via bind()
         self.obs = None
+        #: invariant-checker sink (see class docstring); set via bind()
+        self.check = None
+        #: schedule-trace sink recording event pops (see class docstring)
+        self.schedule_trace = None
 
     # -- public API ------------------------------------------------------
     @property
@@ -380,10 +454,12 @@ class Engine:
             if until is not None and t > until:
                 self._now = until
                 return
-            t, _prio, _seq, event = heapq.heappop(self._queue)
+            t, prio, sub, seq, event = heapq.heappop(self._queue)
             if t < self._now - 1e-12:
                 raise SimulationError("event queue time went backwards")
             self._now = max(self._now, t)
+            if self.schedule_trace is not None:
+                self.schedule_trace.record(t, prio, sub, seq, event)
             event._run_callbacks()
         if until is not None:
             self._now = max(self._now, until)
@@ -395,8 +471,10 @@ class Engine:
                 raise SimulationError(
                     f"deadlock: queue empty but process {proc.name!r} alive"
                 )
-            t, _prio, _seq, event = heapq.heappop(self._queue)
+            t, prio, sub, seq, event = heapq.heappop(self._queue)
             self._now = max(self._now, t)
+            if self.schedule_trace is not None:
+                self.schedule_trace.record(t, prio, sub, seq, event)
             event._run_callbacks()
         if not proc._ok:
             raise proc._value
@@ -412,4 +490,10 @@ class Engine:
             return
         event._scheduled = True
         self._seq += 1
-        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+        t = self._now + delay
+        sub = (
+            self._tie_breaker.sub_key(t, priority, self._seq, event)
+            if self._tie_breaker is not None
+            else 0
+        )
+        heapq.heappush(self._queue, (t, priority, sub, self._seq, event))

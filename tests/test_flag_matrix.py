@@ -1,0 +1,93 @@
+"""Feature-flag matrix: flow x trace x faults on one small workload.
+
+Every combination of the three optional subsystems runs the same
+seeded chaos workload; the run :func:`~repro.experiments.chaos.fingerprint`
+must match the all-off baseline wherever byte-identity is promised:
+
+- the *trace* dimension (observability + schedule trace + invariant
+  checker) promises byte-identity even when ENABLED — the sinks are
+  pure recorders — so within each (flow, faults) group the fingerprint
+  must not move when tracing is switched on;
+- flow control and fault injection legitimately change the run, so
+  across groups only determinism (same combo twice -> same digest) is
+  required.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.check import Checker, ScheduleTrace
+from repro.experiments.chaos import fingerprint, run_once
+from repro.obs import Observability
+
+FLAGS = list(itertools.product([False, True], repeat=3))  # (flow, trace, faults)
+
+
+def _run(flow: bool, trace: bool, faults: bool):
+    kw = dict(inject=faults)
+    if flow:
+        kw["flow_fraction"] = 0.5
+    sinks = {}
+    if trace:
+        sinks["obs"] = Observability(label="matrix")
+        sinks["schedule_trace"] = ScheduleTrace()
+        sinks["check"] = Checker()
+        kw.update(sinks)
+    run = run_once(**kw)
+    return fingerprint(run), run, sinks
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    """{(flow, trace, faults): (fingerprint, run, sinks)} for all 8 combos."""
+    return {flags: _run(*flags) for flags in FLAGS}
+
+
+def test_all_combinations_complete(matrix):
+    for flags, (_fp, run, _s) in matrix.items():
+        assert run.complete, f"combo {flags} lost dump steps {run.missing_steps}"
+
+
+@pytest.mark.parametrize("flow", [False, True], ids=["flow-off", "flow-on"])
+@pytest.mark.parametrize("faults", [False, True], ids=["faults-off", "faults-on"])
+def test_trace_dimension_is_byte_identical(matrix, flow, faults):
+    """obs/schedule/check sinks enabled must not move the fingerprint."""
+    fp_off = matrix[(flow, False, faults)][0]
+    fp_on = matrix[(flow, True, faults)][0]
+    assert fp_on == fp_off, (
+        f"attaching trace sinks changed the run under "
+        f"flow={flow} faults={faults}"
+    )
+
+
+def test_all_off_combo_matches_fresh_baseline(matrix):
+    fp_again, _, _ = _run(False, False, False)
+    assert matrix[(False, False, False)][0] == fp_again
+
+
+def test_fingerprint_is_sensitive_to_faults(matrix):
+    """Control: the digest must actually see the injected crash."""
+    assert matrix[(False, False, True)][0] != matrix[(False, False, False)][0]
+
+
+def test_traced_runs_recorded_schedules(matrix):
+    for flags, (_fp, _run, sinks) in matrix.items():
+        if not flags[1]:
+            continue
+        assert sinks["schedule_trace"].count > 0
+
+
+def test_invariants_hold_across_the_matrix(matrix):
+    """The checker passes on every traced combo, including flow + chaos."""
+    for flags, (_fp, run, sinks) in matrix.items():
+        if not flags[1]:
+            continue
+        chk = sinks["check"]
+        assert chk.packed, f"combo {flags}: checker saw no packing"
+        broken = chk.violations(run.predata)
+        assert broken == [], f"combo {flags}: {broken}"
+        if flags[2]:
+            assert chk.perturbed, f"combo {flags}: no fault recorded"

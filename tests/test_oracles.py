@@ -1,0 +1,57 @@
+"""Differential operator oracles: staged single-pass vs offline numpy."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.check import check_workload, run_differential, run_workload
+from repro.check.oracle import OracleResult
+from repro.check.workloads import OPERATOR_KINDS
+
+SEEDS = (1, 2, 3)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("kind", OPERATOR_KINDS)
+def test_operator_matches_offline_reference(kind, seed):
+    res = check_workload(run_workload(kind, seed=seed))
+    assert res.ok, res.detail
+
+
+def test_run_differential_covers_all_operators():
+    results = run_differential(seeds=(1,))
+    assert {r.operator for r in results} == set(OPERATOR_KINDS)
+    assert all(isinstance(r, OracleResult) for r in results)
+    assert all(r.ok for r in results), [str(r) for r in results]
+
+
+def test_oracle_catches_wrong_results():
+    """Corrupting a staged result must flip the oracle to FAIL."""
+    run = run_workload("histogram", seed=1)
+    results = run.results()
+    step0 = results[0]
+    owner = next(r for r in sorted(step0) if step0[r] is not None)
+    step0[owner]["counts"] = np.array(step0[owner]["counts"]) + 1
+    res = check_workload(run)
+    assert not res.ok
+    assert res.detail
+
+
+def test_oracle_catches_lost_sort_rows():
+    run = run_workload("sort", seed=2)
+    results = run.results()
+    step0 = results[0]
+    rank = sorted(step0)[0]
+    bucket = step0[rank]
+    if len(bucket) > 1:
+        step0[rank] = bucket[:-1]  # drop a row
+        res = check_workload(run)
+        assert not res.ok
+
+
+def test_oracle_result_str_format():
+    ok = OracleResult("sort", 1, True, "")
+    bad = OracleResult("sort", 1, False, "boom")
+    assert str(ok).startswith("[PASS]")
+    assert str(bad).startswith("[FAIL]")
