@@ -32,6 +32,7 @@ __all__ = [
     "mpi",
     "obs",
     "operators",
+    "perf",
     "query",
     "sim",
 ]

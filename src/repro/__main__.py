@@ -14,6 +14,10 @@ Commands map to the experiment harness:
 - ``check``          — verification: schedule fuzzing, pipeline
   invariants, differential operator oracles (``--fuzz N`` etc.; see
   ``python -m repro check --help``)
+- ``perf``           — hot-path micro-benchmarks: kernel variants, FFS
+  packing, event-queue backends; writes ``BENCH_*.json`` sidecars and
+  guards ratio metrics against the committed baseline (see
+  ``python -m repro perf --help``)
 
 ``fig7``, ``headline`` and ``chaos`` accept ``--trace [PATH]`` to dump
 a Chrome ``trace_event`` file (viewable in https://ui.perfetto.dev), a
@@ -39,10 +43,15 @@ def main(argv=None) -> int:
         from repro.check.cli import main as check_main
 
         return check_main(argv[1:])
+    if argv and argv[0] == "perf":
+        # the perf CLI owns its own argument set
+        from repro.perf.bench import main as perf_main
+
+        return perf_main(argv[1:])
     parser.add_argument(
         "command",
         choices=["run-all", "fig7", "fig8", "fig9", "fig10", "fig11",
-                 "headline", "utilization", "chaos", "check"],
+                 "headline", "utilization", "chaos", "check", "perf"],
         help="experiment to run",
     )
     parser.add_argument("--fast", action="store_true",

@@ -174,8 +174,15 @@ class OutputStep:
                 )
         return FFSSchema(self.group.name, tuple(fields))
 
-    def pack(self, extra_attrs: Optional[dict] = None) -> bytes:
-        """Encode into a packed partial data chunk."""
+    def pack(self, extra_attrs: Optional[dict] = None, *, scratch=None):
+        """Encode into a packed partial data chunk.
+
+        Without *scratch*, returns immutable ``bytes``.  With a
+        :class:`repro.ffs.PackBuffer`, packs zero-copy into the scratch
+        and returns a read-only ``memoryview`` borrowing it — the
+        donation fast path; the caller owns the scratch lifecycle (see
+        :func:`repro.ffs.encode_into`).
+        """
         attrs = {
             "step": self.step,
             "rank": self.rank,
@@ -187,10 +194,15 @@ class OutputStep:
         }
         if extra_attrs:
             attrs.update(extra_attrs)
-        return encode(self._runtime_schema(), self.values, attrs=attrs)
+        schema = self._runtime_schema()
+        if scratch is not None:
+            from repro.ffs import encode_into
+
+            return encode_into(schema, self.values, scratch, attrs=attrs)
+        return encode(schema, self.values, attrs=attrs)
 
     @classmethod
-    def unpack(cls, group: GroupDef, buf: bytes) -> "OutputStep":
+    def unpack(cls, group: GroupDef, buf) -> "OutputStep":
         """Decode a packed partial data chunk produced by :meth:`pack`."""
         _, values, attrs = decode(buf)
         chunks = {

@@ -80,6 +80,7 @@ class StagingClient:
         max_buffered_steps: int = 2,
         fetch_rate_cap: Optional[float] = None,
         resilient: bool = False,
+        zero_copy_pack: bool = True,
     ):
         """``fetch_rate_cap`` (bytes/s per staging process) paces the
         asynchronous RDMA gets: scheduled movement deliberately draws
@@ -91,7 +92,16 @@ class StagingClient:
         recovery protocol: fetches no longer consume the compute-side
         buffer — it is released only by :meth:`commit` once the whole
         staging world has finished the step — so a crashed stager's
-        step can be re-fetched by survivors with zero data loss."""
+        step can be re-fetched by survivors with zero data loss.
+
+        ``zero_copy_pack=True`` (default) packs each dump into a
+        per-rank :class:`repro.ffs.PackBuffer` donated downstream as a
+        read-only memoryview: after warm-up, Stage 1b allocates nothing
+        and copies each array exactly once.  Scratches are recycled at
+        :meth:`commit`, when the staging world is provably done with
+        the chunk and every array decoded from it.  ``False`` restores
+        the immutable ``bytes`` path (the allocation-per-step
+        baseline, kept for comparison benchmarks)."""
         if nstaging < 1:
             raise ValueError("need at least one staging process")
         self.env = env
@@ -110,6 +120,12 @@ class StagingClient:
         self._request_boxes: dict[int, Mailbox] = {}
         #: pending packed chunks keyed by (compute_rank, step)
         self._buffers: dict[tuple[int, int], _BufferRecord] = {}
+        # -- zero-copy packing ------------------------------------------
+        self.zero_copy_pack = zero_copy_pack
+        #: free PackBuffers, reused across (rank, step) packs
+        self._scratch_pool: list = []
+        #: in-flight scratch per (compute_rank, step), recycled at commit
+        self._scratches: dict[tuple[int, int], Any] = {}
         #: completion order per compute rank for back-pressure
         self._pending: dict[int, list[Event]] = {}
         self.visible_seconds: dict[int, float] = {}
@@ -187,6 +203,12 @@ class StagingClient:
             self.machine.node(rec.node_id).free(rec.logical_nbytes)
             if not rec.freed.triggered:
                 rec.freed.succeed()
+        scratch = self._scratches.pop((compute_rank, step), None)
+        if scratch is not None:
+            # the staging world is done with this chunk — every decoded
+            # view is dead (reduce/finalize copy), so the scratch may be
+            # repacked without aliasing
+            self._scratch_pool.append(scratch)
         if self.flow is not None:
             # safety net: whatever path completed the step (including
             # zero-survivor replay), its credits must not leak
@@ -251,7 +273,17 @@ class StagingClient:
 
         # Stage 1b: pack into a contiguous FFS buffer (memcpy-bound).
         t_pack = env.now
-        payload = step.pack()
+        if self.zero_copy_pack:
+            if self._scratch_pool:
+                scratch = self._scratch_pool.pop()
+            else:
+                from repro.ffs import PackBuffer
+
+                scratch = PackBuffer()
+            payload = step.pack(scratch=scratch)
+            self._scratches[(comm.rank, step.step)] = scratch
+        else:
+            payload = step.pack()
         pack_time = 2.0 * node.memory_scan_time(step.nbytes_logical)
         if pack_time > 0:
             yield env.timeout(pack_time)

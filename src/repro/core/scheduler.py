@@ -17,9 +17,10 @@ configuration for the interference experiment.
 
 from __future__ import annotations
 
+import heapq
 from typing import Generator, Optional
 
-from repro.sim.engine import Engine, Event
+from repro.sim.engine import Engine, Event, Process
 
 __all__ = ["MovementScheduler"]
 
@@ -38,14 +39,37 @@ class MovementScheduler:
         starvation when an application communicates continuously
         (Pixie3D's reduce/bcast-heavy inner loop is exactly such a
         case, §V.C).
+    batch_wakeups:
+        ``True`` (default): deferred fetches park on a per-node waiter
+        heap keyed ``(deadline, seq)``; one timer process per node
+        enforces ``max_defer`` for every waiter on that node, and
+        :meth:`exit_comm_phase` releases the node's waiters directly —
+        O(changed node's waiters) work with no per-waiter
+        ``Timeout``/``AnyOf`` allocation per loop turn.  ``False``
+        restores the legacy shape (per-waiter deadline timeout and a
+        shared clear event re-armed each turn), kept as the reference.
+        Both paths defer each fetch for exactly the same simulated
+        duration.
     """
 
-    def __init__(self, env: Engine, *, enabled: bool = True, max_defer: float = 30.0):
+    def __init__(
+        self,
+        env: Engine,
+        *,
+        enabled: bool = True,
+        max_defer: float = 30.0,
+        batch_wakeups: bool = True,
+    ):
         self.env = env
         self.enabled = enabled
         self.max_defer = max_defer
+        self.batch_wakeups = batch_wakeups
         self._depth: dict[int, int] = {}
         self._clear_events: dict[int, Event] = {}
+        #: per-node waiter heaps [(deadline, seq, event)] (batched path)
+        self._waiters: dict[int, list[tuple[float, int, Event]]] = {}
+        self._timers: dict[int, Process] = {}
+        self._wseq = 0
         self.deferred_fetches = 0
         self.total_defer_seconds = 0.0
         #: optional :class:`repro.flow.pressure.PressureController`;
@@ -69,6 +93,13 @@ class MovementScheduler:
             ev = self._clear_events.pop(node_id, None)
             if ev is not None and not ev.triggered:
                 ev.succeed()
+            waiters = self._waiters.get(node_id)
+            if waiters:
+                # release in (deadline, seq) order — deterministic
+                while waiters:
+                    _t, _seq, wev = heapq.heappop(waiters)
+                    if not wev.triggered:
+                        wev.succeed("clear")
 
     def in_comm_phase(self, node_id: int) -> bool:
         """True while *node_id* is inside a communication phase."""
@@ -96,16 +127,19 @@ class MovementScheduler:
         if self.enabled and self.in_comm_phase(node_id):
             start = self.env.now
             self.deferred_fetches += 1
-            deadline = self.env.timeout(self.max_defer)
-            while self.in_comm_phase(node_id):
-                ev = self._clear_events.get(node_id)
-                if ev is None or ev.triggered:
-                    ev = self.env.event()
-                    self._clear_events[node_id] = ev
-                fired = yield self.env.any_of([ev, deadline])
-                if deadline in fired:
-                    forced = True
-                    break  # anti-starvation: proceed despite the phase
+            if self.batch_wakeups:
+                forced = yield from self._wait_batched(node_id, start + self.max_defer)
+            else:
+                deadline = self.env.timeout(self.max_defer)
+                while self.in_comm_phase(node_id):
+                    ev = self._clear_events.get(node_id)
+                    if ev is None or ev.triggered:
+                        ev = self.env.event()
+                        self._clear_events[node_id] = ev
+                    fired = yield self.env.any_of([ev, deadline])
+                    if deadline in fired:
+                        forced = True
+                        break  # anti-starvation: proceed despite the phase
             deferred = self.env.now - start
             self.total_defer_seconds += deferred
             obs = self.env.obs
@@ -124,3 +158,43 @@ class MovementScheduler:
                 node_id, in_phase=in_phase, forced=forced
             )
         return deferred
+
+    # -- batched waiter machinery -----------------------------------------
+    def _wait_batched(self, node_id: int, deadline_t: float) -> Generator:
+        """Park on *node_id*'s waiter heap until clear or *deadline_t*.
+
+        Returns True when the deadline forced the movement through.
+        Re-entry at the release timestamp keeps the waiter's original
+        deadline, matching the legacy loop turn for turn.
+        """
+        while self.in_comm_phase(node_id):
+            ev = self.env.event()
+            self._wseq += 1
+            heapq.heappush(
+                self._waiters.setdefault(node_id, []),
+                (deadline_t, self._wseq, ev),
+            )
+            self._ensure_timer(node_id)
+            value = yield ev
+            if value == "forced":
+                return True
+        return False
+
+    def _ensure_timer(self, node_id: int) -> None:
+        proc = self._timers.get(node_id)
+        if proc is None or proc.is_alive is False:
+            self._timers[node_id] = self.env.process(
+                self._timer_body(node_id), name=f"sched-timer-{node_id}"
+            )
+
+    def _timer_body(self, node_id: int) -> Generator:
+        """One deadline clock for all of *node_id*'s parked waiters."""
+        waiters = self._waiters.setdefault(node_id, [])
+        while waiters:
+            t = waiters[0][0]
+            if t > self.env.now:
+                yield self.env.timeout(t - self.env.now)
+            while waiters and waiters[0][0] <= self.env.now:
+                _t, _seq, ev = heapq.heappop(waiters)
+                if not ev.triggered:
+                    ev.succeed("forced")

@@ -16,6 +16,15 @@ schedule chunks cheaply before processing them.
 """
 
 from repro.ffs.schema import Field, Schema, SchemaError
-from repro.ffs.encode import decode, encode, peek
+from repro.ffs.encode import PackBuffer, decode, encode, encode_into, peek
 
-__all__ = ["Field", "Schema", "SchemaError", "decode", "encode", "peek"]
+__all__ = [
+    "Field",
+    "PackBuffer",
+    "Schema",
+    "SchemaError",
+    "decode",
+    "encode",
+    "encode_into",
+    "peek",
+]

@@ -11,37 +11,103 @@ Wire layout of a packed buffer::
                   aligned to 8 bytes from the start of the payload
                   section; scalars live in the header ("scalars").
 
+Packing is zero-copy on the array side: each field is written straight
+from the source array's buffer into the destination through
+``memoryview`` slices — no intermediate ``tobytes()`` materialisation.
+Arrays that are not C-contiguous (Fortran order, negative or gapped
+strides) are copy-normalised first; packing their raw buffers would
+serialise garbage strides.
+
+Two entry points share the assembly code:
+
+- :func:`encode` packs into a fresh buffer and returns immutable
+  ``bytes`` — the safe default.
+- :func:`encode_into` packs into a caller-owned :class:`PackBuffer`
+  (a capacity-doubling scratch that amortises allocation across steps)
+  and returns a read-only ``memoryview`` *borrowing* the scratch.  The
+  caller must not reuse the scratch while the view (or arrays decoded
+  from it) is live — this is the buffer-donation fast path the
+  compute-side client uses, recycling each scratch only after the
+  staging area commits the step.
+
 Decoding is zero-copy for arrays (``np.frombuffer`` views over the
-original buffer); callers that need writable arrays copy explicitly.
+original buffer, ``bytes``/``bytearray``/``memoryview`` alike);
+callers that need writable arrays copy explicitly.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Any, Optional
+from typing import Any, Optional, Union
 
 import numpy as np
 
 from repro.ffs.schema import Schema, SchemaError
 
-__all__ = ["encode", "decode", "peek"]
+__all__ = ["PackBuffer", "encode", "encode_into", "decode", "peek"]
 
 MAGIC = b"FFS1"
 _ALIGN = 8
+
+Buffer = Union[bytes, bytearray, memoryview]
 
 
 def _align(n: int) -> int:
     return (n + _ALIGN - 1) // _ALIGN * _ALIGN
 
 
-def encode(
-    schema: Schema, values: dict, attrs: Optional[dict] = None
-) -> bytes:
-    """Pack *values* (field name -> scalar / ndarray) into one buffer.
+class PackBuffer:
+    """Capacity-doubling scratch buffer for zero-copy FFS packing.
 
-    ``attrs`` is a small JSON-serialisable metadata dict carried in the
-    header — PreDatA uses it for things like the producing rank, the
-    I/O step number, and global-array offsets.
+    One ``PackBuffer`` amortises packing allocations across I/O steps:
+    it grows geometrically to the largest chunk it has ever packed and
+    is then reused allocation-free.  Growth swaps in a fresh bytearray
+    (old contents are scratch), so previously exported memoryviews stay
+    valid against the buffer they were packed into.
+    """
+
+    __slots__ = ("_buf", "grows")
+
+    def __init__(self, capacity: int = 1 << 12):
+        self._buf = bytearray(max(int(capacity), 64))
+        #: number of capacity doublings (observability for benchmarks)
+        self.grows = 0
+
+    @property
+    def capacity(self) -> int:
+        return len(self._buf)
+
+    def reserve(self, nbytes: int) -> memoryview:
+        """A writable view of at least *nbytes* bytes."""
+        cap = len(self._buf)
+        if cap < nbytes:
+            while cap < nbytes:
+                cap *= 2
+            self._buf = bytearray(cap)
+            self.grows += 1
+        return memoryview(self._buf)
+
+
+def _wire_array(v: Any, dtype: np.dtype) -> np.ndarray:
+    """Array as it goes on the wire: requested dtype, C-contiguous.
+
+    Non-C-contiguous inputs (Fortran order, sliced/negative strides)
+    are copy-normalised here — packing their underlying buffers
+    verbatim would emit stride garbage that decodes to wrong values.
+    """
+    arr = np.asarray(v, dtype=dtype)
+    if not arr.flags.c_contiguous:
+        arr = np.ascontiguousarray(arr)
+    return arr
+
+
+def _prepare(
+    schema: Schema, values: dict, attrs: Optional[dict]
+) -> tuple[bytes, list[tuple[int, np.ndarray]], int]:
+    """Validate and lay out one record.
+
+    Returns ``(header_bytes, [(payload_offset, array), ...], total)``
+    where *total* is the full packed size in bytes.
     """
     schema.validate(values)
     shapes: dict[str, list[int]] = {}
@@ -55,7 +121,7 @@ def encode(
                 raise SchemaError(f"field {f.name!r} expects a scalar")
             scalars[f.name] = arr.item()
         else:
-            arr = np.ascontiguousarray(v, dtype=np.dtype(f.dtype))
+            arr = _wire_array(v, np.dtype(f.dtype))
             shapes[f.name] = list(f.resolve_shape(arr))
             arrays.append((f.name, arr))
     header = {
@@ -67,19 +133,69 @@ def encode(
     hbytes = json.dumps(header, separators=(",", ":")).encode("utf-8")
     offset = 0
     placements = []
-    for name, arr in arrays:
+    for _name, arr in arrays:
         offset = _align(offset)
-        placements.append(offset)
+        placements.append((offset, arr))
         offset += arr.nbytes
-    out = bytearray(8 + len(hbytes) + _align(offset))
+    total = 8 + len(hbytes) + _align(offset)
+    return hbytes, placements, total
+
+
+def _assemble(
+    out: memoryview, hbytes: bytes, placements: list[tuple[int, np.ndarray]], total: int
+) -> None:
+    """Write one packed record into *out* (first *total* bytes).
+
+    Every byte in ``[0, total)`` is written — alignment gaps and the
+    trailing pad are zeroed — so a reused scratch produces output
+    byte-identical to a fresh buffer.
+    """
     out[0:4] = MAGIC
-    out[4:8] = np.uint32(len(hbytes)).tobytes()
+    out[4:8] = len(hbytes).to_bytes(4, "little")
     out[8 : 8 + len(hbytes)] = hbytes
     payload_base = 8 + len(hbytes)
-    for (name, arr), pos in zip(arrays, placements):
+    cursor = payload_base
+    for pos, arr in placements:
         start = payload_base + pos
-        out[start : start + arr.nbytes] = arr.tobytes()
+        if start > cursor:  # alignment gap
+            out[cursor:start] = bytes(start - cursor)
+        if arr.nbytes:
+            out[start : start + arr.nbytes] = memoryview(arr).cast("B")
+        cursor = start + arr.nbytes
+    if total > cursor:  # trailing pad
+        out[cursor:total] = bytes(total - cursor)
+
+
+def encode(schema: Schema, values: dict, attrs: Optional[dict] = None) -> bytes:
+    """Pack *values* (field name -> scalar / ndarray) into one buffer.
+
+    ``attrs`` is a small JSON-serialisable metadata dict carried in the
+    header — PreDatA uses it for things like the producing rank, the
+    I/O step number, and global-array offsets.
+    """
+    hbytes, placements, total = _prepare(schema, values, attrs)
+    out = bytearray(total)
+    _assemble(memoryview(out), hbytes, placements, total)
     return bytes(out)
+
+
+def encode_into(
+    schema: Schema,
+    values: dict,
+    scratch: PackBuffer,
+    attrs: Optional[dict] = None,
+) -> memoryview:
+    """Pack into *scratch*; return a read-only view of the packed bytes.
+
+    The view (and anything decoded from it) borrows the scratch: the
+    caller must not pack into the same :class:`PackBuffer` again until
+    it is done with the previous chunk.  Output bytes are identical to
+    :func:`encode` on the same inputs.
+    """
+    hbytes, placements, total = _prepare(schema, values, attrs)
+    out = scratch.reserve(total)
+    _assemble(out, hbytes, placements, total)
+    return out[:total].toreadonly()
 
 
 def _jsonify_scalars(scalars: dict) -> dict:
@@ -105,17 +221,17 @@ def _unjsonify_scalar(v: Any) -> Any:
     return v
 
 
-def _parse_header(buf: bytes) -> tuple[dict, int]:
+def _parse_header(buf: Buffer) -> tuple[dict, int]:
     if len(buf) < 8 or bytes(buf[0:4]) != MAGIC:
         raise SchemaError("not an FFS buffer (bad magic)")
-    hlen = int(np.frombuffer(buf, dtype=np.uint32, count=1, offset=4)[0])
+    hlen = int.from_bytes(bytes(buf[4:8]), "little")
     if 8 + hlen > len(buf):
         raise SchemaError("truncated FFS buffer header")
     header = json.loads(bytes(buf[8 : 8 + hlen]).decode("utf-8"))
     return header, 8 + hlen
 
 
-def peek(buf: bytes) -> dict:
+def peek(buf: Buffer) -> dict:
     """Return metadata (schema dict, shapes, scalars, attrs) only.
 
     Does not touch the array payload — O(header) work regardless of
@@ -130,11 +246,11 @@ def peek(buf: bytes) -> dict:
     return header
 
 
-def decode(buf: bytes) -> tuple[Schema, dict, dict]:
-    """Unpack an FFS buffer.
+def decode(buf: Buffer) -> tuple[Schema, dict, dict]:
+    """Unpack an FFS buffer (``bytes``, ``bytearray`` or ``memoryview``).
 
     Returns ``(schema, values, attrs)``.  Array values are read-only
-    views into *buf* (zero copy).
+    views into *buf* (zero copy), whatever the buffer's own mutability.
     """
     header, payload_base = _parse_header(buf)
     schema = Schema.from_dict(header["schema"])
@@ -152,6 +268,8 @@ def decode(buf: bytes) -> tuple[Schema, dict, dict]:
         offset = _align(offset)
         start = payload_base + offset
         arr = np.frombuffer(buf, dtype=dt, count=count, offset=start)
+        if arr.flags.writeable:
+            arr.flags.writeable = False
         values[f.name] = arr.reshape(shape)
         offset += count * dt.itemsize
     return schema, values, header.get("attrs", {})

@@ -25,6 +25,7 @@ from repro.adios.bp import BPWriter
 from repro.adios.group import ChunkMeta, GroupDef, OutputStep
 from repro.core.operator import Emit, OperatorContext, PreDatAOperator
 from repro.machine.filesystem import ParallelFileSystem
+from repro.perf import kernels
 
 __all__ = ["ArrayMergeOperator"]
 
@@ -141,19 +142,10 @@ class ArrayMergeOperator(PreDatAOperator):
         s_lo, s_hi = int(starts[owner]), int(starts[owner + 1])
         slab_shape = (s_hi - s_lo, *dims[1:])
         dtype = values[0][1].dtype if values else np.float64
-        slab = np.zeros(slab_shape, dtype=dtype)
-        filled = np.zeros(slab_shape, dtype=bool)
-        for (offsets, piece) in values:
-            sel = tuple(
-                slice(o - (s_lo if axis == 0 else 0), o - (s_lo if axis == 0 else 0) + d)
-                for axis, (o, d) in enumerate(zip(offsets, piece.shape))
-            )
-            slab[sel] = piece
-            filled[sel] = True
-        if not filled.all():
+        slab, n_uncovered = kernels.paste_pieces(slab_shape, dtype, values, s_lo)
+        if n_uncovered:
             raise RuntimeError(
-                f"{self.name}: slab {tag} has {int((~filled).sum())} "
-                "uncovered cells"
+                f"{self.name}: slab {tag} has {n_uncovered} uncovered cells"
             )
         return (s_lo, slab)
 

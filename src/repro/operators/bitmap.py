@@ -24,10 +24,11 @@ import numpy as np
 
 from repro.adios.group import OutputStep
 from repro.core.operator import Emit, OperatorContext, PreDatAOperator
+from repro.perf import kernels
 
 __all__ = ["WAHBitmap", "BitmapIndex", "BitmapIndexOperator"]
 
-_WORD = 31  # payload bits per WAH word
+_WORD = kernels.WAH_WORD_BITS  # payload bits per WAH word
 
 
 class WAHBitmap:
@@ -46,40 +47,11 @@ class WAHBitmap:
     @classmethod
     def from_mask(cls, mask: np.ndarray) -> "WAHBitmap":
         mask = np.asarray(mask, dtype=bool)
-        n = mask.size
-        pad = (-n) % _WORD
-        padded = np.concatenate([mask, np.zeros(pad, dtype=bool)])
-        groups = padded.reshape(-1, _WORD)
-        weights = (1 << np.arange(_WORD, dtype=np.int64))[::-1]
-        payloads = groups @ weights
-        full = (1 << _WORD) - 1
-        words: list[tuple[str, int, int]] = []
-        for p in payloads:
-            p = int(p)
-            if p == 0 or p == full:
-                bit = 1 if p == full else 0
-                if words and words[-1][0] == "fill" and words[-1][1] == bit:
-                    words[-1] = ("fill", bit, words[-1][2] + 1)
-                else:
-                    words.append(("fill", bit, 1))
-            else:
-                words.append(("lit", p, 1))
-        return cls(words, n)
+        return cls(kernels.wah_encode(mask), mask.size)
 
     def to_mask(self) -> np.ndarray:
         """Decode back to a boolean mask of length ``nbits``."""
-        out = np.zeros(((self.nbits + _WORD - 1) // _WORD) * _WORD, dtype=bool)
-        pos = 0
-        for kind, value, count in self._words:
-            if kind == "fill":
-                if value:
-                    out[pos : pos + count * _WORD] = True
-                pos += count * _WORD
-            else:
-                bits = [(value >> (_WORD - 1 - i)) & 1 for i in range(_WORD)]
-                out[pos : pos + _WORD] = np.array(bits, dtype=bool)
-                pos += _WORD
-        return out[: self.nbits]
+        return kernels.wah_decode(self._words, self.nbits)
 
     def __or__(self, other: "WAHBitmap") -> "WAHBitmap":
         if self.nbits != other.nbits:
@@ -92,13 +64,7 @@ class WAHBitmap:
         # Padding bits are always zero (from_mask pads with zeros), so a
         # straight popcount over the words is exact.
         """Number of set bits (popcount over the compressed words)."""
-        total = 0
-        for kind, value, count in self._words:
-            if kind == "fill":
-                total += value * count * _WORD
-            else:
-                total += bin(value).count("1")
-        return total
+        return kernels.wah_count(self._words)
 
     @property
     def nwords(self) -> int:

@@ -19,6 +19,7 @@ import numpy as np
 from repro.adios.group import OutputStep
 from repro.core.operator import Emit, OperatorContext, PreDatAOperator
 from repro.machine.filesystem import ParallelFileSystem
+from repro.perf import kernels
 
 __all__ = ["HistogramOperator"]
 
@@ -87,8 +88,7 @@ class HistogramOperator(PreDatAOperator):
     def map(self, ctx: OperatorContext, step: OutputStep) -> Iterable[Emit]:
         edges = ctx.storage["edges"]
         col = np.atleast_2d(step.values[self.var])[:, self.column]
-        counts, _ = np.histogram(col, bins=edges)
-        return [Emit(self._TAG, counts.astype(np.int64))]
+        return [Emit(self._TAG, kernels.histogram1d(col, edges))]
 
     def map_flops(self, step: OutputStep) -> float:
         # binning: ~4 flops per element (subtract, scale, floor, add)

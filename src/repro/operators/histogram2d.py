@@ -15,6 +15,7 @@ import numpy as np
 from repro.adios.group import OutputStep
 from repro.core.operator import Emit, OperatorContext, PreDatAOperator
 from repro.machine.filesystem import ParallelFileSystem
+from repro.perf import kernels
 
 __all__ = ["Histogram2DOperator"]
 
@@ -88,8 +89,7 @@ class Histogram2DOperator(PreDatAOperator):
         ex, ey = ctx.storage["edges"]
         data = np.atleast_2d(step.values[self.var])
         cx, cy = self.columns
-        counts, _, _ = np.histogram2d(data[:, cx], data[:, cy], bins=(ex, ey))
-        return [Emit(self._TAG, counts.astype(np.int64))]
+        return [Emit(self._TAG, kernels.histogram2d(data[:, cx], data[:, cy], ex, ey))]
 
     def map_flops(self, step: OutputStep) -> float:
         # two binnings plus a joint index per element

@@ -30,6 +30,7 @@ import numpy as np
 from repro.adios.group import OutputStep
 from repro.core.operator import Emit, OperatorContext, PreDatAOperator
 from repro.machine.filesystem import ParallelFileSystem
+from repro.perf import kernels
 
 __all__ = ["SampleSortOperator"]
 
@@ -117,24 +118,15 @@ class SampleSortOperator(PreDatAOperator):
         if ctx.aggregated is None:
             raise RuntimeError(f"{self.name}: no samples aggregated")
         pool, width = ctx.aggregated
-        n = ctx.nworkers
-        if n > 1:
-            qs = np.linspace(0, 1, n + 1)[1:-1]
-            splitters = np.unique(np.quantile(pool, qs))
-        else:
-            splitters = np.array([])
-        ctx.storage["splitters"] = splitters
+        ctx.storage["splitters"] = kernels.select_splitters(pool, ctx.nworkers)
         ctx.storage["width"] = int(width)
 
     def map(self, ctx: OperatorContext, step: OutputStep) -> Iterable[Emit]:
         splitters = ctx.storage["splitters"]
         data = np.atleast_2d(step.values[self.var])
         keys = data[:, self.key_column]
-        buckets = np.searchsorted(splitters, keys, side="right")
-        out = []
-        for b in np.unique(buckets):
-            out.append(Emit(int(b), data[buckets == b]))
-        return out
+        buckets = kernels.partition_rows(keys, splitters)
+        return [Emit(b, rows) for b, rows in kernels.group_rows(data, buckets)]
 
     def map_flops(self, step: OutputStep) -> float:
         # binary search per row over the splitters + a partition pass;

@@ -1,0 +1,449 @@
+"""Hot-path operator kernels, each in ``naive`` and ``vectorized`` form.
+
+The public functions at the bottom (:func:`histogram1d`,
+:func:`histogram2d`, :func:`wah_encode`, :func:`wah_decode`,
+:func:`wah_count`, :func:`select_splitters`, :func:`partition_rows`,
+:func:`group_rows`, :func:`paste_pieces`) dispatch through
+:data:`~repro.perf.registry.REGISTRY`; the operators in
+:mod:`repro.operators` call only these.
+
+Contracts (shared by both variants — property-tested bit-for-bit):
+
+- histogram kernels take *strictly increasing* edge arrays; values
+  outside ``[edges[0], edges[-1]]`` and NaNs are dropped, the last bin
+  is right-inclusive.  This matches ``np.histogram``/``np.histogram2d``
+  exactly.
+- WAH words are ``("lit", payload, 1)`` or ``("fill", bit, ngroups)``
+  tuples over 31-bit groups, adjacent equal fills merged maximally.
+- ``select_splitters`` reproduces
+  ``np.unique(np.quantile(pool, linspace-cuts))`` including numpy's
+  linear-interpolation rounding and NaN collapsing.
+- ``partition_rows`` is ``searchsorted(splitters, keys, side="right")``.
+- ``group_rows`` yields ``(bucket, rows)`` pairs in ascending bucket
+  order with rows in their original order.
+- ``paste_pieces`` pastes ``(offsets, piece)`` blocks into a zeroed
+  slab and reports the count of never-written cells.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_right
+from typing import Any, Optional, Sequence
+
+import numpy as np
+
+from repro.perf.registry import REGISTRY
+
+__all__ = [
+    "histogram1d",
+    "histogram2d",
+    "wah_encode",
+    "wah_decode",
+    "wah_count",
+    "select_splitters",
+    "partition_rows",
+    "group_rows",
+    "paste_pieces",
+    "WAH_WORD_BITS",
+]
+
+#: payload bits per WAH word (31, as in word-aligned-hybrid coding)
+WAH_WORD_BITS = 31
+_FULL = (1 << WAH_WORD_BITS) - 1
+
+
+# =====================================================================
+# 1-D histogram
+# =====================================================================
+
+@REGISTRY.register("histogram1d", "naive")
+def _histogram1d_naive(values: np.ndarray, edges: np.ndarray) -> np.ndarray:
+    values = np.asarray(values, dtype=float)
+    edges_l = np.asarray(edges, dtype=float).tolist()
+    counts = [0] * (len(edges_l) - 1)
+    lo, hi = edges_l[0], edges_l[-1]
+    last = len(counts) - 1
+    for v in values.ravel().tolist():
+        if not (lo <= v <= hi):  # NaN fails both comparisons
+            continue
+        if v == hi:
+            counts[last] += 1
+        else:
+            counts[bisect_right(edges_l, v) - 1] += 1
+    return np.asarray(counts, dtype=np.int64)
+
+
+@REGISTRY.register("histogram1d", "vectorized")
+def _histogram1d_vectorized(values: np.ndarray, edges: np.ndarray) -> np.ndarray:
+    counts, _ = np.histogram(np.asarray(values, dtype=float), bins=edges)
+    return counts.astype(np.int64)
+
+
+# =====================================================================
+# 2-D histogram
+# =====================================================================
+
+def _bin_of(v: float, edges_l: list) -> Optional[int]:
+    lo, hi = edges_l[0], edges_l[-1]
+    if not (lo <= v <= hi):
+        return None
+    if v == hi:
+        return len(edges_l) - 2
+    return bisect_right(edges_l, v) - 1
+
+
+@REGISTRY.register("histogram2d", "naive")
+def _histogram2d_naive(
+    x: np.ndarray, y: np.ndarray, ex: np.ndarray, ey: np.ndarray
+) -> np.ndarray:
+    ex_l = np.asarray(ex, dtype=float).tolist()
+    ey_l = np.asarray(ey, dtype=float).tolist()
+    counts = np.zeros((len(ex_l) - 1, len(ey_l) - 1), dtype=np.int64)
+    xs = np.asarray(x, dtype=float).ravel().tolist()
+    ys = np.asarray(y, dtype=float).ravel().tolist()
+    for v, w in zip(xs, ys):
+        bx = _bin_of(v, ex_l)
+        if bx is None:
+            continue
+        by = _bin_of(w, ey_l)
+        if by is None:
+            continue
+        counts[bx, by] += 1
+    return counts
+
+
+@REGISTRY.register("histogram2d", "vectorized")
+def _histogram2d_vectorized(
+    x: np.ndarray, y: np.ndarray, ex: np.ndarray, ey: np.ndarray
+) -> np.ndarray:
+    counts, _, _ = np.histogram2d(
+        np.asarray(x, dtype=float), np.asarray(y, dtype=float), bins=(ex, ey)
+    )
+    return counts.astype(np.int64)
+
+
+# =====================================================================
+# WAH bitmap run-length coding
+# =====================================================================
+
+def _payloads(mask: np.ndarray) -> np.ndarray:
+    """31-bit group payloads of a boolean mask (zero-padded)."""
+    mask = np.asarray(mask, dtype=bool).ravel()
+    pad = (-mask.size) % WAH_WORD_BITS
+    padded = np.concatenate([mask, np.zeros(pad, dtype=bool)])
+    groups = padded.reshape(-1, WAH_WORD_BITS)
+    weights = (1 << np.arange(WAH_WORD_BITS, dtype=np.int64))[::-1]
+    return groups @ weights
+
+
+@REGISTRY.register("wah_encode", "naive")
+def _wah_encode_naive(mask: np.ndarray) -> list:
+    words: list[tuple[str, int, int]] = []
+    for p in _payloads(mask):
+        p = int(p)
+        if p == 0 or p == _FULL:
+            bit = 1 if p == _FULL else 0
+            if words and words[-1][0] == "fill" and words[-1][1] == bit:
+                words[-1] = ("fill", bit, words[-1][2] + 1)
+            else:
+                words.append(("fill", bit, 1))
+        else:
+            words.append(("lit", p, 1))
+    return words
+
+
+def _payloads_packed(mask: np.ndarray) -> np.ndarray:
+    """31-bit group payloads via ``np.packbits`` (identical values to
+    :func:`_payloads`, an order of magnitude faster on large masks)."""
+    mask = np.asarray(mask, dtype=bool).ravel()
+    ngroups = (mask.size + WAH_WORD_BITS - 1) // WAH_WORD_BITS
+    if ngroups == 0:
+        return np.empty(0, dtype=np.int64)
+    bits = np.zeros((ngroups, 32), dtype=bool)
+    padded = np.zeros(ngroups * WAH_WORD_BITS, dtype=bool)
+    padded[: mask.size] = mask
+    bits[:, :WAH_WORD_BITS] = padded.reshape(ngroups, WAH_WORD_BITS)
+    packed = np.packbits(bits, axis=1).view(">u4").ravel()
+    # bit i of the group carries weight 2^(30-i); the packed 32-bit word
+    # weighted it 2^(31-i), i.e. exactly payload << 1
+    return (packed >> 1).astype(np.int64)
+
+
+@REGISTRY.register("wah_encode", "vectorized")
+def _wah_encode_vectorized(mask: np.ndarray) -> list:
+    payloads = _payloads_packed(mask)
+    n = payloads.size
+    if n == 0:
+        return []
+    is_fill = (payloads == 0) | (payloads == _FULL)
+    fill_bit = payloads == _FULL
+    # run boundaries: a group starts a new word run unless it continues
+    # a fill run of the same bit value (literals never merge)
+    change = np.empty(n, dtype=bool)
+    change[0] = True
+    change[1:] = ~(is_fill[1:] & is_fill[:-1] & (fill_bit[1:] == fill_bit[:-1]))
+    starts = np.flatnonzero(change)
+    ends = np.append(starts[1:], n)
+    run_fill = is_fill[starts]
+    kinds = np.where(run_fill, "fill", "lit").tolist()
+    vals = np.where(run_fill, fill_bit[starts].astype(np.int64), payloads[starts])
+    counts = np.where(run_fill, ends - starts, 1)
+    return list(zip(kinds, vals.tolist(), counts.tolist()))
+
+
+@REGISTRY.register("wah_decode", "naive")
+def _wah_decode_naive(words: Sequence, nbits: int) -> np.ndarray:
+    ngroups = (nbits + WAH_WORD_BITS - 1) // WAH_WORD_BITS
+    out = np.zeros(ngroups * WAH_WORD_BITS, dtype=bool)
+    pos = 0
+    for kind, value, count in words:
+        if kind == "fill":
+            if value:
+                out[pos : pos + count * WAH_WORD_BITS] = True
+            pos += count * WAH_WORD_BITS
+        else:
+            bits = [(value >> (WAH_WORD_BITS - 1 - i)) & 1 for i in range(WAH_WORD_BITS)]
+            out[pos : pos + WAH_WORD_BITS] = np.array(bits, dtype=bool)
+            pos += WAH_WORD_BITS
+    return out[:nbits]
+
+
+@REGISTRY.register("wah_decode", "vectorized")
+def _wah_decode_vectorized(words: Sequence, nbits: int) -> np.ndarray:
+    ngroups = (nbits + WAH_WORD_BITS - 1) // WAH_WORD_BITS
+    if not words or ngroups == 0:
+        return np.zeros(nbits, dtype=bool)
+    kinds, vals, counts = zip(*words)
+    is_fill = np.asarray(kinds) == "fill"
+    vals_arr = np.asarray(vals, dtype=np.int64)
+    counts_arr = np.asarray(counts, dtype=np.int64)
+    starts = np.concatenate([[0], np.cumsum(counts_arr)[:-1]])
+    # per-group payloads: literals scatter, one-fill runs flood via a
+    # +1/-1 delta array (run-length to membership without any loop)
+    group_pay = np.zeros(ngroups, dtype=np.int64)
+    lit = ~is_fill
+    group_pay[starts[lit]] = vals_arr[lit]
+    ones = is_fill & (vals_arr != 0)
+    if ones.any():
+        delta = np.zeros(ngroups + 1, dtype=np.int64)
+        np.add.at(delta, starts[ones], 1)
+        np.add.at(delta, starts[ones] + counts_arr[ones], -1)
+        group_pay[np.cumsum(delta[:-1]) > 0] = _FULL
+    raw = (group_pay.astype(np.uint32) << 1).astype(">u4").view(np.uint8)
+    bits = np.unpackbits(raw).reshape(ngroups, 32)[:, :WAH_WORD_BITS]
+    return bits.reshape(-1).astype(bool)[:nbits]
+
+
+@REGISTRY.register("wah_count", "naive")
+def _wah_count_naive(words: Sequence) -> int:
+    total = 0
+    for kind, value, count in words:
+        if kind == "fill":
+            total += value * count * WAH_WORD_BITS
+        else:
+            total += bin(value).count("1")
+    return total
+
+
+@REGISTRY.register("wah_count", "vectorized")
+def _wah_count_vectorized(words: Sequence) -> int:
+    if not words:
+        return 0
+    kinds, vals, counts = zip(*words)
+    is_fill = np.asarray(kinds) == "fill"
+    vals_arr = np.asarray(vals, dtype=np.int64)
+    counts_arr = np.asarray(counts, dtype=np.int64)
+    fill_total = int((vals_arr * counts_arr)[is_fill].sum()) * WAH_WORD_BITS
+    lits = vals_arr[~is_fill]
+    if lits.size == 0:
+        return fill_total
+    raw = lits.astype(">u4").view(np.uint8)
+    return fill_total + int(np.unpackbits(raw).sum())
+
+
+# =====================================================================
+# Sample-sort splitter selection
+# =====================================================================
+
+def _lerp(a: float, b: float, t: float) -> float:
+    """numpy's quantile interpolation, bit for bit (incl. the t>=0.5 branch)."""
+    diff = b - a
+    if t >= 0.5:
+        return b - diff * (1 - t)
+    return a + diff * t
+
+
+@REGISTRY.register("select_splitters", "naive")
+def _select_splitters_naive(pool: np.ndarray, nworkers: int) -> np.ndarray:
+    if nworkers <= 1:
+        return np.array([])
+    arr = np.sort(np.asarray(pool, dtype=float).ravel()).tolist()
+    n = len(arr)
+    if any(math.isnan(v) for v in arr):
+        # np.quantile: one NaN poisons every quantile; np.unique then
+        # collapses the all-NaN cut list to a single NaN
+        return np.asarray([math.nan])
+    qs = np.linspace(0, 1, nworkers + 1)[1:-1].tolist()
+    cuts = []
+    for q in qs:
+        virtual = q * (n - 1)
+        prev = math.floor(virtual)
+        gamma = virtual - prev
+        lo = arr[int(prev)]
+        hi = arr[min(int(prev) + 1, n - 1)]
+        cuts.append(_lerp(lo, hi, gamma))
+    # np.unique: ascending, exact duplicates dropped, NaNs collapse to one
+    finite = sorted(c for c in cuts if not math.isnan(c))
+    uniq: list[float] = []
+    for c in finite:
+        if not uniq or c != uniq[-1]:
+            uniq.append(c)
+    if len(finite) != len(cuts):
+        uniq.append(math.nan)
+    return np.asarray(uniq, dtype=float)
+
+
+@REGISTRY.register("select_splitters", "vectorized")
+def _select_splitters_vectorized(pool: np.ndarray, nworkers: int) -> np.ndarray:
+    if nworkers <= 1:
+        return np.array([])
+    qs = np.linspace(0, 1, nworkers + 1)[1:-1]
+    return np.unique(np.quantile(np.asarray(pool, dtype=float), qs))
+
+
+# =====================================================================
+# Sample-sort row partitioning / bucket grouping
+# =====================================================================
+
+@REGISTRY.register("partition_rows", "naive")
+def _partition_rows_naive(keys: np.ndarray, splitters: np.ndarray) -> np.ndarray:
+    spl = np.asarray(splitters).tolist()
+    return np.asarray(
+        [bisect_right(spl, k) for k in np.asarray(keys).ravel().tolist()],
+        dtype=np.intp,
+    )
+
+
+@REGISTRY.register("partition_rows", "vectorized")
+def _partition_rows_vectorized(keys: np.ndarray, splitters: np.ndarray) -> np.ndarray:
+    return np.searchsorted(splitters, keys, side="right")
+
+
+@REGISTRY.register("group_rows", "naive")
+def _group_rows_naive(data: np.ndarray, buckets: np.ndarray) -> list:
+    out = []
+    for b in np.unique(buckets):
+        out.append((int(b), data[buckets == b]))
+    return out
+
+
+@REGISTRY.register("group_rows", "vectorized")
+def _group_rows_vectorized(data: np.ndarray, buckets: np.ndarray) -> list:
+    buckets = np.asarray(buckets)
+    if buckets.size == 0:
+        return []
+    order = np.argsort(buckets, kind="stable")
+    sorted_buckets = buckets[order]
+    rows = data[order]
+    uniq, starts = np.unique(sorted_buckets, return_index=True)
+    bounds = np.append(starts[1:], sorted_buckets.size)
+    return [
+        (int(b), rows[s:e])
+        for b, s, e in zip(uniq.tolist(), starts.tolist(), bounds.tolist())
+    ]
+
+
+# =====================================================================
+# Array-merge chunk stitching
+# =====================================================================
+
+@REGISTRY.register("paste_pieces", "naive")
+def _paste_pieces_naive(
+    slab_shape: tuple, dtype: Any, pieces: Sequence, s_lo: int
+) -> tuple:
+    slab = np.zeros(slab_shape, dtype=dtype)
+    filled = np.zeros(slab_shape, dtype=bool)
+    for offsets, piece in pieces:
+        piece = np.asarray(piece)
+        base = tuple(
+            (o - s_lo) if axis == 0 else o for axis, o in enumerate(offsets)
+        )
+        for idx in np.ndindex(piece.shape):
+            dst = tuple(b + i for b, i in zip(base, idx))
+            slab[dst] = piece[idx]
+            filled[dst] = True
+    return slab, int((~filled).sum())
+
+
+@REGISTRY.register("paste_pieces", "vectorized")
+def _paste_pieces_vectorized(
+    slab_shape: tuple, dtype: Any, pieces: Sequence, s_lo: int
+) -> tuple:
+    slab = np.zeros(slab_shape, dtype=dtype)
+    filled = np.zeros(slab_shape, dtype=bool)
+    for offsets, piece in pieces:
+        piece = np.asarray(piece)
+        sel = tuple(
+            slice(o - (s_lo if axis == 0 else 0), o - (s_lo if axis == 0 else 0) + d)
+            for axis, (o, d) in enumerate(zip(offsets, piece.shape))
+        )
+        slab[sel] = piece
+        filled[sel] = True
+    return slab, int((~filled).sum())
+
+
+# =====================================================================
+# Dispatchers — the only functions operators call
+# =====================================================================
+
+def histogram1d(values: np.ndarray, edges: np.ndarray) -> np.ndarray:
+    """int64 counts of *values* over strictly increasing *edges*."""
+    return REGISTRY.get("histogram1d")(values, edges)
+
+
+def histogram2d(
+    x: np.ndarray, y: np.ndarray, ex: np.ndarray, ey: np.ndarray
+) -> np.ndarray:
+    """int64 joint counts of ``(x, y)`` over edge grids ``(ex, ey)``."""
+    return REGISTRY.get("histogram2d")(x, y, ex, ey)
+
+
+def wah_encode(mask: np.ndarray) -> list:
+    """WAH word list of a boolean mask."""
+    return REGISTRY.get("wah_encode")(mask)
+
+
+def wah_decode(words: Sequence, nbits: int) -> np.ndarray:
+    """Boolean mask of length *nbits* from a WAH word list."""
+    return REGISTRY.get("wah_decode")(words, nbits)
+
+
+def wah_count(words: Sequence) -> int:
+    """Popcount over a WAH word list (padding bits are zero)."""
+    return REGISTRY.get("wah_count")(words)
+
+
+def select_splitters(pool: np.ndarray, nworkers: int) -> np.ndarray:
+    """Strictly increasing sample-sort splitters (``nworkers - 1`` cuts,
+    deduplicated) from a sample pool."""
+    return REGISTRY.get("select_splitters")(pool, nworkers)
+
+
+def partition_rows(keys: np.ndarray, splitters: np.ndarray) -> np.ndarray:
+    """Bucket index per key: ``searchsorted(splitters, keys, "right")``."""
+    return REGISTRY.get("partition_rows")(keys, splitters)
+
+
+def group_rows(data: np.ndarray, buckets: np.ndarray) -> list:
+    """``(bucket, rows)`` pairs, ascending bucket, original row order."""
+    return REGISTRY.get("group_rows")(data, buckets)
+
+
+def paste_pieces(slab_shape: tuple, dtype: Any, pieces: Sequence, s_lo: int) -> tuple:
+    """Paste ``(offsets, piece)`` blocks into a zeroed slab.
+
+    Returns ``(slab, n_uncovered)`` where ``n_uncovered`` counts cells
+    no piece ever wrote.
+    """
+    return REGISTRY.get("paste_pieces")(slab_shape, dtype, pieces, s_lo)

@@ -5,6 +5,21 @@ event)`` entries.  :class:`Process` objects wrap generators; each time
 the event a process is waiting on fires, the engine advances the
 generator, obtaining the next event to wait on.
 
+Two queue backends share the exact pop order ``(time, priority, sub,
+seq)`` — schedules are byte-identical under either:
+
+- ``calendar`` (default) — a bucketed calendar queue: one small heap of
+  ``(priority, sub, seq, event)`` per distinct timestamp plus a heap of
+  distinct timestamps.  Staged pipelines fire large bursts of
+  same-time events (every ``succeed()`` lands at ``now``), so most
+  pushes are O(log burst) into a small bucket instead of O(log total)
+  into one big heap, and the timestamp heap stays tiny.
+- ``heap`` — the single binary heap the engine always had, kept as the
+  reference backend.
+
+Select with ``Engine(queue=...)`` or the ``REPRO_ENGINE_QUEUE``
+environment variable.
+
 Determinism: ties in the event queue are broken first by an optional
 pluggable :class:`TieBreaker` sub-key and finally by a monotonically
 increasing sequence number, so a simulation with a fixed seed replays
@@ -20,6 +35,7 @@ wall-clock time.
 from __future__ import annotations
 
 import heapq
+import os
 from typing import Any, Callable, Generator, Iterable, Optional
 
 __all__ = [
@@ -361,6 +377,119 @@ class SeededTieBreaker(TieBreaker):
         return f"SeededTieBreaker(seed={self.seed})"
 
 
+class _HeapQueue:
+    """Reference event queue: one binary heap of full entries."""
+
+    __slots__ = ("_heap",)
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, int, int, Event]] = []
+
+    def push(self, t: float, prio: int, sub: int, seq: int, event: Event) -> None:
+        heapq.heappush(self._heap, (t, prio, sub, seq, event))
+
+    def pop(self) -> tuple[float, int, int, int, Event]:
+        return heapq.heappop(self._heap)
+
+    def peek_time(self) -> float:
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+
+class _CalendarQueue:
+    """Bucketed calendar queue: per-timestamp heaps + a timestamp heap.
+
+    ``_buckets`` maps each distinct pending timestamp to its pending
+    entries ``(priority, sub, seq, event)``: a bare tuple while the
+    bucket holds exactly one entry (the overwhelmingly common case for
+    spread-out timeouts — no list allocation), a heap list once a
+    second same-time entry arrives, or ``None`` after the last entry is
+    popped.  ``_times`` is a heap of the keys of ``_buckets``, each
+    exactly once.  A drained bucket is *not* removed eagerly:
+    same-time cascades (a popped event's callback scheduling more work
+    at ``now``) refill the current bucket over and over, and eager
+    removal would re-sift ``now`` to the top of the timestamp heap on
+    every refill.  Instead drained buckets linger and are reaped when
+    ``pop``/``peek_time`` finds one at the front — i.e. once the
+    simulation has truly moved past that instant.  ``seq`` is globally
+    unique, so bucket-heap comparisons terminate before reaching the
+    event, and the global pop order ``(time, priority, sub, seq)`` is
+    identical to :class:`_HeapQueue`.
+    """
+
+    __slots__ = ("_buckets", "_times", "_len")
+
+    _ABSENT: Any = object()
+
+    def __init__(self) -> None:
+        self._buckets: dict[float, Any] = {}
+        self._times: list[float] = []
+        self._len = 0
+
+    def push(self, t: float, prio: int, sub: int, seq: int, event: Event) -> None:
+        entry = (prio, sub, seq, event)
+        buckets = self._buckets
+        bucket = buckets.get(t, self._ABSENT)
+        if bucket is self._ABSENT:
+            buckets[t] = entry
+            heapq.heappush(self._times, t)
+        elif bucket is None:  # drained, timestamp still in _times
+            buckets[t] = entry
+        elif type(bucket) is list:
+            heapq.heappush(bucket, entry)
+        else:  # singleton -> two-entry heap
+            buckets[t] = [bucket, entry] if bucket < entry else [entry, bucket]
+        self._len += 1
+
+    def pop(self) -> tuple[float, int, int, int, Event]:
+        times = self._times
+        buckets = self._buckets
+        while times:
+            t = times[0]
+            bucket = buckets[t]
+            if not bucket:  # None or drained list: reap and advance
+                del buckets[heapq.heappop(times)]
+                continue
+            if type(bucket) is list:
+                prio, sub, seq, event = heapq.heappop(bucket)
+            else:
+                prio, sub, seq, event = bucket
+                buckets[t] = None
+            self._len -= 1
+            return t, prio, sub, seq, event
+        raise IndexError("pop from an empty calendar queue")
+
+    def peek_time(self) -> float:
+        times = self._times
+        buckets = self._buckets
+        while times:
+            t = times[0]
+            if buckets[t]:
+                return t
+            del buckets[heapq.heappop(times)]
+        return float("inf")
+
+    def __len__(self) -> int:
+        return self._len
+
+
+_QUEUE_BACKENDS = {"heap": _HeapQueue, "calendar": _CalendarQueue}
+
+
+def _default_queue_backend() -> str:
+    env = os.environ.get("REPRO_ENGINE_QUEUE", "").strip()
+    if not env:
+        return "calendar"
+    if env not in _QUEUE_BACKENDS:
+        raise ValueError(
+            f"REPRO_ENGINE_QUEUE={env!r} is not a queue backend; "
+            f"expected one of {sorted(_QUEUE_BACKENDS)}"
+        )
+    return env
+
+
 class Engine:
     """The discrete-event simulation engine.
 
@@ -375,6 +504,13 @@ class Engine:
         same-``(time, priority)`` events.  ``None`` (default) assigns
         sub-key 0 to every entry — insertion order, byte-identical to
         the engine before tie-breaking became pluggable.
+    queue:
+        Event-queue backend: ``"calendar"`` (bucketed per-timestamp
+        heaps, the fast path) or ``"heap"`` (one binary heap, the
+        reference).  ``None`` (default) resolves the
+        ``REPRO_ENGINE_QUEUE`` environment variable, falling back to
+        ``"calendar"``.  Pop order — and therefore every schedule — is
+        identical under both.
 
     Attributes
     ----------
@@ -401,9 +537,18 @@ class Engine:
         *,
         catch_errors: bool = True,
         tie_breaker: Optional[TieBreaker] = None,
+        queue: Optional[str] = None,
     ):
+        if queue is None:
+            queue = _default_queue_backend()
+        if queue not in _QUEUE_BACKENDS:
+            raise ValueError(
+                f"unknown queue backend {queue!r}; "
+                f"expected one of {sorted(_QUEUE_BACKENDS)}"
+            )
         self._now = 0.0
-        self._queue: list[tuple[float, int, int, int, Event]] = []
+        self.queue_backend = queue
+        self._queue = _QUEUE_BACKENDS[queue]()
         self._seq = 0
         self._active_process: Optional[Process] = None
         self._catch_errors = catch_errors
@@ -450,11 +595,11 @@ class Engine:
         if until is not None and until < self._now:
             raise ValueError(f"until={until} is in the past (now={self._now})")
         while self._queue:
-            t = self._queue[0][0]
+            t = self._queue.peek_time()
             if until is not None and t > until:
                 self._now = until
                 return
-            t, prio, sub, seq, event = heapq.heappop(self._queue)
+            t, prio, sub, seq, event = self._queue.pop()
             if t < self._now - 1e-12:
                 raise SimulationError("event queue time went backwards")
             self._now = max(self._now, t)
@@ -471,7 +616,7 @@ class Engine:
                 raise SimulationError(
                     f"deadlock: queue empty but process {proc.name!r} alive"
                 )
-            t, prio, sub, seq, event = heapq.heappop(self._queue)
+            t, prio, sub, seq, event = self._queue.pop()
             self._now = max(self._now, t)
             if self.schedule_trace is not None:
                 self.schedule_trace.record(t, prio, sub, seq, event)
@@ -482,7 +627,7 @@ class Engine:
 
     def peek(self) -> float:
         """Time of the next queued event, or ``inf`` if the queue is empty."""
-        return self._queue[0][0] if self._queue else float("inf")
+        return self._queue.peek_time()
 
     # -- internals -------------------------------------------------------
     def _enqueue(self, delay: float, priority: int, event: Event) -> None:
@@ -496,4 +641,4 @@ class Engine:
             if self._tie_breaker is not None
             else 0
         )
-        heapq.heappush(self._queue, (t, priority, sub, self._seq, event))
+        self._queue.push(t, priority, sub, self._seq, event)

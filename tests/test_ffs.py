@@ -190,3 +190,47 @@ def test_many_field_roundtrip_property(nfields, data):
     _, out, _ = decode(encode(s, values))
     for k, v in values.items():
         np.testing.assert_array_equal(out[k], v)
+
+
+# ---------------------------------------------------------------------
+# non-C-contiguous inputs (regression: the packer must copy-normalise
+# sliced / reversed / Fortran-order arrays instead of packing garbage
+# strides, and the wire bytes must match the contiguous equivalent)
+# ---------------------------------------------------------------------
+
+def test_non_contiguous_arrays_encode_identically():
+    from repro.ffs import PackBuffer, encode_into
+
+    base = np.arange(60, dtype="<f8")
+    grid = np.asfortranarray(np.arange(24, dtype="<i4").reshape(4, 6))
+    s = Schema.of("nc", a=("<f8", (-1,)), g=("<i4", (4, 6)))
+    for view in (base[::2], base[::-1], base[10:50][::3]):
+        assert not view.flags["C_CONTIGUOUS"]
+        assert not grid.flags["C_CONTIGUOUS"]
+        values = {"a": view, "g": grid}
+        contiguous = {
+            "a": np.ascontiguousarray(view),
+            "g": np.ascontiguousarray(grid),
+        }
+        buf = encode(s, values)
+        assert bytes(buf) == bytes(encode(s, contiguous))
+        scratch = PackBuffer()
+        assert bytes(encode_into(s, values, scratch)) == bytes(buf)
+        _, out, _ = decode(buf)
+        np.testing.assert_array_equal(out["a"], view)
+        np.testing.assert_array_equal(out["g"], grid)
+
+
+def test_non_contiguous_zero_copy_pack_through_output_step():
+    """OutputStep.pack with a scratch buffer accepts sliced fields."""
+    from repro.adios import GroupDef, OutputStep, VarDef, VarKind
+    from repro.ffs import PackBuffer
+
+    g = GroupDef(
+        "nc", (VarDef("x", "<f8", VarKind.LOCAL_ARRAY, 1),)
+    )
+    big = np.arange(100, dtype="<f8")
+    step = OutputStep(group=g, step=0, rank=0, values={"x": big[::5]})
+    packed = step.pack(scratch=PackBuffer())
+    _, out, _ = decode(packed)
+    np.testing.assert_array_equal(out["x"], big[::5])

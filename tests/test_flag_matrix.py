@@ -1,13 +1,19 @@
-"""Feature-flag matrix: flow x trace x faults on one small workload.
+"""Feature-flag matrix: flow x trace x faults x kernels on one workload.
 
-Every combination of the three optional subsystems runs the same
-seeded chaos workload; the run :func:`~repro.experiments.chaos.fingerprint`
-must match the all-off baseline wherever byte-identity is promised:
+Every combination of the three optional subsystems *and* the kernel
+variant runs the same seeded chaos workload; the run
+:func:`~repro.experiments.chaos.fingerprint` must match the all-off
+baseline wherever byte-identity is promised:
 
 - the *trace* dimension (observability + schedule trace + invariant
   checker) promises byte-identity even when ENABLED — the sinks are
-  pure recorders — so within each (flow, faults) group the fingerprint
-  must not move when tracing is switched on;
+  pure recorders — so within each (flow, faults, kernels) group the
+  fingerprint must not move when tracing is switched on;
+- the *kernels* dimension (``naive`` vs ``vectorized`` hot-path
+  implementations) promises byte-identity both ways — the variants are
+  bit-for-bit interchangeable — so within each (flow, trace, faults)
+  group neither the fingerprint nor the executed-schedule hash may move
+  when only the kernel selection differs;
 - flow control and fault injection legitimately change the run, so
   across groups only determinism (same combo twice -> same digest) is
   required.
@@ -22,11 +28,13 @@ import pytest
 from repro.check import Checker, ScheduleTrace
 from repro.experiments.chaos import fingerprint, run_once
 from repro.obs import Observability
+from repro.perf import REGISTRY, VARIANTS
 
 FLAGS = list(itertools.product([False, True], repeat=3))  # (flow, trace, faults)
+COMBOS = [(*flags, kern) for flags in FLAGS for kern in VARIANTS]  # 16
 
 
-def _run(flow: bool, trace: bool, faults: bool):
+def _run(flow: bool, trace: bool, faults: bool, kernels: str = "vectorized"):
     kw = dict(inject=faults)
     if flow:
         kw["flow_fraction"] = 0.5
@@ -36,58 +44,88 @@ def _run(flow: bool, trace: bool, faults: bool):
         sinks["schedule_trace"] = ScheduleTrace()
         sinks["check"] = Checker()
         kw.update(sinks)
-    run = run_once(**kw)
+    with REGISTRY.use(kernels):
+        run = run_once(**kw)
     return fingerprint(run), run, sinks
 
 
 @pytest.fixture(scope="module")
 def matrix():
-    """{(flow, trace, faults): (fingerprint, run, sinks)} for all 8 combos."""
-    return {flags: _run(*flags) for flags in FLAGS}
+    """{(flow, trace, faults, kernels): (fingerprint, run, sinks)}, all 16."""
+    return {combo: _run(*combo) for combo in COMBOS}
 
 
 def test_all_combinations_complete(matrix):
-    for flags, (_fp, run, _s) in matrix.items():
-        assert run.complete, f"combo {flags} lost dump steps {run.missing_steps}"
+    for combo, (_fp, run, _s) in matrix.items():
+        assert run.complete, f"combo {combo} lost dump steps {run.missing_steps}"
 
 
 @pytest.mark.parametrize("flow", [False, True], ids=["flow-off", "flow-on"])
 @pytest.mark.parametrize("faults", [False, True], ids=["faults-off", "faults-on"])
-def test_trace_dimension_is_byte_identical(matrix, flow, faults):
+@pytest.mark.parametrize("kern", VARIANTS)
+def test_trace_dimension_is_byte_identical(matrix, flow, faults, kern):
     """obs/schedule/check sinks enabled must not move the fingerprint."""
-    fp_off = matrix[(flow, False, faults)][0]
-    fp_on = matrix[(flow, True, faults)][0]
+    fp_off = matrix[(flow, False, faults, kern)][0]
+    fp_on = matrix[(flow, True, faults, kern)][0]
     assert fp_on == fp_off, (
         f"attaching trace sinks changed the run under "
+        f"flow={flow} faults={faults} kernels={kern}"
+    )
+
+
+@pytest.mark.parametrize("flow", [False, True], ids=["flow-off", "flow-on"])
+@pytest.mark.parametrize("trace", [False, True], ids=["trace-off", "trace-on"])
+@pytest.mark.parametrize("faults", [False, True], ids=["faults-off", "faults-on"])
+def test_kernel_dimension_is_byte_identical(matrix, flow, trace, faults):
+    """naive and vectorized kernels must produce identical runs."""
+    fp_naive = matrix[(flow, trace, faults, "naive")][0]
+    fp_vec = matrix[(flow, trace, faults, "vectorized")][0]
+    assert fp_naive == fp_vec, (
+        f"kernel variant changed the run under "
+        f"flow={flow} trace={trace} faults={faults}"
+    )
+
+
+@pytest.mark.parametrize("flow", [False, True], ids=["flow-off", "flow-on"])
+@pytest.mark.parametrize("faults", [False, True], ids=["faults-off", "faults-on"])
+def test_kernel_dimension_preserves_schedule_hash(matrix, flow, faults):
+    """The executed-schedule hash (every pop the engine made, in order)
+    must be identical when only the kernel selection differs."""
+    h_naive = matrix[(flow, True, faults, "naive")][2]["schedule_trace"]
+    h_vec = matrix[(flow, True, faults, "vectorized")][2]["schedule_trace"]
+    assert h_naive.count == h_vec.count
+    assert h_naive.schedule_hash == h_vec.schedule_hash, (
+        f"kernel variant perturbed the executed schedule under "
         f"flow={flow} faults={faults}"
     )
 
 
 def test_all_off_combo_matches_fresh_baseline(matrix):
     fp_again, _, _ = _run(False, False, False)
-    assert matrix[(False, False, False)][0] == fp_again
+    assert matrix[(False, False, False, "vectorized")][0] == fp_again
 
 
 def test_fingerprint_is_sensitive_to_faults(matrix):
     """Control: the digest must actually see the injected crash."""
-    assert matrix[(False, False, True)][0] != matrix[(False, False, False)][0]
+    base = matrix[(False, False, False, "vectorized")][0]
+    assert matrix[(False, False, True, "vectorized")][0] != base
 
 
 def test_traced_runs_recorded_schedules(matrix):
-    for flags, (_fp, _run, sinks) in matrix.items():
-        if not flags[1]:
+    for combo, (_fp, _run, sinks) in matrix.items():
+        if not combo[1]:
             continue
         assert sinks["schedule_trace"].count > 0
 
 
 def test_invariants_hold_across_the_matrix(matrix):
     """The checker passes on every traced combo, including flow + chaos."""
-    for flags, (_fp, run, sinks) in matrix.items():
-        if not flags[1]:
+    for combo, (_fp, run, sinks) in matrix.items():
+        if not combo[1]:
             continue
         chk = sinks["check"]
-        assert chk.packed, f"combo {flags}: checker saw no packing"
+        assert chk.packed, f"combo {combo}: checker saw no packing"
         broken = chk.violations(run.predata)
-        assert broken == [], f"combo {flags}: {broken}"
-        if flags[2]:
-            assert chk.perturbed, f"combo {flags}: no fault recorded"
+        assert broken == [], f"combo {combo}: {broken}"
+        if combo[2]:
+            assert chk.perturbed, f"combo {combo}: no fault recorded"

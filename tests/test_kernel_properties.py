@@ -1,0 +1,215 @@
+"""Property tests: naive and vectorized kernels agree bit for bit.
+
+Hypothesis drives every registered kernel pair through the adversarial
+inputs a hand-written table misses — empty chunks, single-bin
+histograms, NaN/inf fields, duplicate sort keys, duplicate splitters —
+and asserts *exact* agreement: same dtype, same shape, same bits.  The
+deterministic tests at the bottom pin the named edge cases plus
+non-contiguous (sliced, reversed, Fortran-order) inputs, since numpy
+fast paths are where contiguity assumptions sneak in.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.perf import REGISTRY
+from repro.perf import kernels as K
+
+FAST = settings(max_examples=60, deadline=None)
+
+
+def both(name, *args):
+    """Run kernel *name* in both variants on the same arguments."""
+    return REGISTRY.get(name, "naive")(*args), REGISTRY.get(name, "vectorized")(*args)
+
+
+def assert_same_array(a, b):
+    a, b = np.asarray(a), np.asarray(b)
+    assert a.dtype == b.dtype, (a.dtype, b.dtype)
+    assert a.shape == b.shape, (a.shape, b.shape)
+    np.testing.assert_array_equal(a, b)
+
+
+# strategies ----------------------------------------------------------
+
+finite = st.floats(allow_nan=False, allow_infinity=False, width=64)
+anyfloat = st.floats(width=64)  # NaN and +/-inf included
+
+fields = st.lists(anyfloat, max_size=150).map(lambda xs: np.asarray(xs, dtype=float))
+
+# strictly increasing edges; min_size=2 keeps the single-bin case live
+edges = st.lists(finite, min_size=2, max_size=40, unique=True).map(
+    lambda xs: np.sort(np.asarray(xs, dtype=float))
+)
+
+masks = st.lists(st.booleans(), max_size=200).map(
+    lambda xs: np.asarray(xs, dtype=bool)
+)
+
+# duplicate-heavy keys: a tiny value alphabet guarantees collisions
+dup_keys = st.lists(
+    st.sampled_from([-1.5, 0.0, 0.5, 0.5, 2.0, 2.0, 7.25]), max_size=120
+).map(lambda xs: np.asarray(xs, dtype=float))
+
+splitters = st.lists(finite, max_size=12).map(
+    lambda xs: np.sort(np.asarray(xs, dtype=float))
+)
+
+
+@st.composite
+def paste_cases(draw):
+    ndim = draw(st.integers(1, 3))
+    shape = tuple(draw(st.integers(1, 5)) for _ in range(ndim))
+    s_lo = draw(st.integers(0, 4))
+    pieces = []
+    for _ in range(draw(st.integers(0, 4))):
+        pshape = tuple(draw(st.integers(1, shape[a])) for a in range(ndim))
+        offsets = tuple(
+            draw(st.integers(0, shape[a] - pshape[a])) + (s_lo if a == 0 else 0)
+            for a in range(ndim)
+        )
+        fill = draw(st.integers(0, 9))
+        piece = np.arange(int(np.prod(pshape)), dtype=float).reshape(pshape) + fill
+        pieces.append((offsets, piece))
+    return shape, pieces, s_lo
+
+
+# histogram kernels ---------------------------------------------------
+
+@FAST
+@given(values=fields, e=edges)
+def test_histogram1d_variants_agree(values, e):
+    assert_same_array(*both("histogram1d", values, e))
+
+
+@FAST
+@given(pts=st.lists(st.tuples(anyfloat, anyfloat), max_size=120), ex=edges, ey=edges)
+def test_histogram2d_variants_agree(pts, ex, ey):
+    x = np.asarray([p[0] for p in pts], dtype=float)
+    y = np.asarray([p[1] for p in pts], dtype=float)
+    assert_same_array(*both("histogram2d", x, y, ex, ey))
+
+
+# WAH bitmap kernels --------------------------------------------------
+
+@FAST
+@given(mask=masks)
+def test_wah_encode_variants_agree(mask):
+    naive, vec = both("wah_encode", mask)
+    assert naive == vec  # identical word lists, tuple for tuple
+
+
+@FAST
+@given(mask=masks)
+def test_wah_roundtrip_and_count(mask):
+    words = K.wah_encode(mask)
+    dn, dv = both("wah_decode", words, mask.size)
+    assert_same_array(dn, mask)
+    assert_same_array(dn, dv)
+    cn, cv = both("wah_count", words)
+    assert cn == cv == int(mask.sum())
+
+
+# sample-sort kernels -------------------------------------------------
+
+@FAST
+@given(pool=st.lists(anyfloat, min_size=1, max_size=100), nworkers=st.integers(1, 9))
+def test_select_splitters_variants_agree(pool, nworkers):
+    pool = np.asarray(pool, dtype=float)
+    assert_same_array(*both("select_splitters", pool, nworkers))
+
+
+@FAST
+@given(keys=dup_keys, spl=splitters)
+def test_partition_rows_variants_agree(keys, spl):
+    n, v = both("partition_rows", keys, spl)
+    assert_same_array(np.asarray(n, dtype=np.intp), np.asarray(v, dtype=np.intp))
+
+
+@FAST
+@given(keys=dup_keys, spl=splitters)
+def test_group_rows_variants_agree(keys, spl):
+    data = np.stack([keys, np.arange(keys.size, dtype=float)], axis=1)
+    buckets = K.partition_rows(keys, spl)
+    gn, gv = both("group_rows", data, buckets)
+    assert len(gn) == len(gv)
+    for (bn, rn), (bv, rv) in zip(gn, gv):
+        assert bn == bv
+        assert_same_array(rn, rv)
+
+
+# array-merge kernel --------------------------------------------------
+
+@FAST
+@given(case=paste_cases())
+def test_paste_pieces_variants_agree(case):
+    shape, pieces, s_lo = case
+    (sn, un), (sv, uv) = both("paste_pieces", shape, np.float64, pieces, s_lo)
+    assert un == uv
+    assert_same_array(sn, sv)
+
+
+# named edge cases ----------------------------------------------------
+
+def test_empty_chunks_agree_everywhere():
+    empty = np.asarray([], dtype=float)
+    e = np.asarray([0.0, 1.0])
+    assert_same_array(*both("histogram1d", empty, e))
+    assert_same_array(*both("histogram2d", empty, empty, e, e))
+    assert both("wah_encode", np.asarray([], dtype=bool)) == ([], [])
+    dn, dv = both("wah_decode", [], 0)
+    assert dn.size == dv.size == 0
+    assert both("wah_count", []) == (0, 0)
+    assert_same_array(*both("partition_rows", empty, np.asarray([1.0])))
+    assert both("group_rows", empty.reshape(0, 2), np.asarray([], dtype=np.intp)) == (
+        [],
+        [],
+    )
+
+
+def test_single_bin_histogram_right_inclusive_edge():
+    values = np.asarray([0.0, 0.5, 1.0, 1.0, 1.5, np.nan, np.inf])
+    e = np.asarray([0.0, 1.0])  # one bin; 1.0 lands in it (right-inclusive)
+    n, v = both("histogram1d", values, e)
+    assert_same_array(n, v)
+    assert n.tolist() == [4]
+
+
+def test_nan_poisoned_splitter_pool_collapses():
+    pool = np.asarray([np.nan, 1.0, 2.0, np.nan])
+    n, v = both("select_splitters", pool, 4)
+    assert_same_array(n, v)
+    assert n.size == 1 and np.isnan(n[0])
+
+
+def test_duplicate_keys_on_duplicate_splitters():
+    keys = np.asarray([0.5, 0.5, 0.5, 1.0, 1.0])
+    spl = np.asarray([0.5, 0.5, 1.0])
+    n, v = both("partition_rows", keys, spl)
+    assert_same_array(np.asarray(n, dtype=np.intp), np.asarray(v, dtype=np.intp))
+    assert list(v) == [2, 2, 2, 3, 3]  # side="right" of the last duplicate
+
+
+def test_non_contiguous_inputs_agree():
+    rng = np.random.default_rng(7)
+    base = rng.normal(size=501)
+    e = np.linspace(-3, 3, 11)
+    for view in (base[::2], base[::-1], base[100:300][::3]):
+        assert not view.flags["C_CONTIGUOUS"]
+        assert_same_array(*both("histogram1d", view, e))
+    mask = (base > 0)[::-1][:-7]
+    assert not mask.flags["C_CONTIGUOUS"]
+    naive, vec = both("wah_encode", mask)
+    assert naive == vec
+    assert_same_array(K.wah_decode(vec, mask.size), np.ascontiguousarray(mask))
+    fdata = np.asfortranarray(rng.normal(size=(40, 3)))
+    assert not fdata.flags["C_CONTIGUOUS"]
+    buckets = K.partition_rows(fdata[:, 0], np.asarray([0.0]))
+    gn, gv = both("group_rows", fdata, buckets)
+    for (bn, rn), (bv, rv) in zip(gn, gv):
+        assert bn == bv
+        assert_same_array(rn, rv)

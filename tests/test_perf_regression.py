@@ -1,0 +1,137 @@
+"""Perf-regression harness tests (``@pytest.mark.perf``).
+
+Two layers:
+
+- always-on structural tests drive :mod:`repro.perf.bench` at smoke
+  size — record shape, guard keys, sidecar round-trip, and the
+  ``compare`` guard logic itself (it must both catch regressions and
+  ignore host-speed noise);
+- the committed baselines are validated as data: well-formed JSON, the
+  acceptance-floor kernels pinned at >= 3x;
+- ``--perf-baseline [DIR|default]`` unlocks the timed full-size run
+  that diffs live guards against the committed ``BENCH_*.json``
+  (skipped otherwise — tier-1 stays fast and host-independent).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.perf import REGISTRY, bench
+
+pytestmark = pytest.mark.perf
+
+SMOKE_N = 20_000
+
+
+# ---------------------------------------------------------------------
+# record shape (smoke-sized, fast, deterministic structure)
+# ---------------------------------------------------------------------
+
+def test_bench_kernels_record_shape():
+    record = bench.bench_kernels(n=SMOKE_N, repeat=1)
+    assert record["bench"] == "kernels"
+    assert record["n"] == SMOKE_N
+    assert set(record["kernels"]) == set(REGISTRY.names())
+    for name, row in record["kernels"].items():
+        assert row["naive_seconds"] > 0 and row["vectorized_seconds"] > 0
+        assert record["guards"][f"speedup:{name}"] == row["speedup"]
+
+
+def test_bench_ffs_record_shape():
+    record = bench.bench_ffs(nelems=SMOKE_N, repeat=1)
+    assert record["bench"] == "ffs"
+    assert record["payload_bytes"] > 0
+    assert record["guards"]["no_growth_after_warmup"] == 1.0
+    assert record["scratch_grows_after_warmup"] == 0
+
+
+def test_bench_engine_record_shape():
+    record = bench.bench_engine(
+        nbacklog=200, nworkers=8, nhops=20, nwaiters=16, ncycles=3, repeat=1
+    )
+    assert record["bench"] == "engine"
+    assert record["burst_events"] == 200 + 8 * 20
+    assert set(record["guards"]) == {
+        "ratio:calendar_vs_heap",
+        "ratio:batched_vs_legacy",
+    }
+    assert all(v > 0 for v in record["guards"].values())
+
+
+def test_write_record_sidecar_round_trips(tmp_path):
+    record = {"bench": "kernels", "guards": {"speedup:x": 2.0}}
+    path = bench.write_record("kernels", record, tmp_path / "out")
+    assert path.name == "BENCH_kernels.json"
+    assert json.loads(path.read_text()) == record
+
+
+# ---------------------------------------------------------------------
+# the guard logic itself
+# ---------------------------------------------------------------------
+
+def test_compare_catches_a_regression():
+    base = {"guards": {"speedup:histogram1d": 10.0}}
+    bad = {"guards": {"speedup:histogram1d": 7.9}}  # > 20 % below
+    ok = {"guards": {"speedup:histogram1d": 8.1}}  # within tolerance
+    assert bench.compare(bad, base) != []
+    assert bench.compare(ok, base) == []
+
+
+def test_compare_flags_missing_guards():
+    base = {"guards": {"speedup:histogram1d": 10.0}}
+    problems = bench.compare({"guards": {}}, base)
+    assert problems and "missing" in problems[0]
+
+
+def test_compare_only_enforces_baseline_guards():
+    """New guards in the current run must not fail an older baseline,
+    and absolute seconds are never compared."""
+    base = {"guards": {"speedup:a": 2.0}, "encode_seconds": 1e-9}
+    cur = {"guards": {"speedup:a": 2.0, "speedup:b": 0.1}, "encode_seconds": 99.0}
+    assert bench.compare(cur, base) == []
+
+
+# ---------------------------------------------------------------------
+# committed baselines as data
+# ---------------------------------------------------------------------
+
+@pytest.mark.parametrize("name", ["kernels", "ffs", "engine"])
+def test_committed_baseline_is_well_formed(name):
+    path = bench.default_baseline_dir() / f"BENCH_{name}.json"
+    baseline = json.loads(path.read_text())
+    assert baseline["bench"] == name
+    assert baseline["guards"], f"{path} has no guards to enforce"
+    assert all(v > 0 for v in baseline["guards"].values())
+
+
+def test_committed_kernel_baseline_meets_acceptance_floor():
+    """ISSUE 5 acceptance: histogram / 2-D histogram / bitmap encode
+    hold >= 3x over naive at 1M elements in the committed record."""
+    path = bench.default_baseline_dir() / "BENCH_kernels.json"
+    baseline = json.loads(path.read_text())
+    assert baseline["n"] >= 1_000_000
+    for name in bench.HOT_KERNELS:
+        assert baseline["kernels"][name]["speedup"] >= 3.0
+        assert baseline["guards"][f"speedup:{name}"] >= 3.0
+
+
+# ---------------------------------------------------------------------
+# the timed full-size guard (opt-in: --perf-baseline)
+# ---------------------------------------------------------------------
+
+@pytest.mark.parametrize("name", ["kernels", "ffs", "engine"])
+def test_full_size_guards_match_baseline(perf_baseline_dir, name):
+    base_path = perf_baseline_dir / f"BENCH_{name}.json"
+    if not base_path.exists():
+        pytest.skip(f"no baseline at {base_path}")
+    runner = {
+        "kernels": bench.bench_kernels,
+        "ffs": bench.bench_ffs,
+        "engine": bench.bench_engine,
+    }[name]
+    record = runner()
+    problems = bench.compare(record, json.loads(base_path.read_text()))
+    assert problems == [], "\n".join(problems)
