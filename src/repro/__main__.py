@@ -18,6 +18,10 @@ Commands map to the experiment harness:
   packing, event-queue backends; writes ``BENCH_*.json`` sidecars and
   guards ratio metrics against the committed baseline (see
   ``python -m repro perf --help``)
+- ``jobs``           — multi-tenant pipeline service: run N tenants
+  concurrently on one shared staging fleet with fair-share carves,
+  per-tenant ledgers and solo-vs-contended isolation cross-checks
+  (``run``/``fuzz``; see ``python -m repro jobs --help``)
 
 ``fig7``, ``headline`` and ``chaos`` accept ``--trace [PATH]`` to dump
 a Chrome ``trace_event`` file (viewable in https://ui.perfetto.dev), a
@@ -48,10 +52,16 @@ def main(argv=None) -> int:
         from repro.perf.bench import main as perf_main
 
         return perf_main(argv[1:])
+    if argv and argv[0] == "jobs":
+        # the multi-tenant jobs CLI owns its own argument set
+        from repro.jobs.cli import main as jobs_main
+
+        return jobs_main(argv[1:])
     parser.add_argument(
         "command",
         choices=["run-all", "fig7", "fig8", "fig9", "fig10", "fig11",
-                 "headline", "utilization", "chaos", "check", "perf"],
+                 "headline", "utilization", "chaos", "check", "perf",
+                 "jobs"],
         help="experiment to run",
     )
     parser.add_argument("--fast", action="store_true",

@@ -26,6 +26,7 @@ from repro.check.fuzzer import (
 )
 from repro.check.invariants import Checker, InvariantViolation
 from repro.check.oracle import OracleResult, check_workload, run_differential
+from repro.check.tenancy import MultiTenantChecker
 from repro.check.trace import ScheduleTrace, minimized_trace_diff
 from repro.check.workloads import (
     OPERATOR_KINDS,
@@ -39,6 +40,7 @@ __all__ = [
     "FuzzReport",
     "FuzzRun",
     "InvariantViolation",
+    "MultiTenantChecker",
     "OPERATOR_KINDS",
     "OracleResult",
     "ScheduleFuzzer",

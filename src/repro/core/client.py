@@ -81,6 +81,7 @@ class StagingClient:
         fetch_rate_cap: Optional[float] = None,
         resilient: bool = False,
         zero_copy_pack: bool = True,
+        tenant: Optional[str] = None,
     ):
         """``fetch_rate_cap`` (bytes/s per staging process) paces the
         asynchronous RDMA gets: scheduled movement deliberately draws
@@ -101,10 +102,19 @@ class StagingClient:
         :meth:`commit`, when the staging world is provably done with
         the chunk and every array decoded from it.  ``False`` restores
         the immutable ``bytes`` path (the allocation-per-step
-        baseline, kept for comparison benchmarks)."""
+        baseline, kept for comparison benchmarks).
+
+        ``tenant`` names the job this client belongs to under the
+        multi-tenant jobs layer.  It qualifies every key this pipeline
+        hands to the shared flow-control and verification subsystems
+        (so two tenants' ``(rank, step)`` chunks never collide) and
+        scopes observability through a per-tenant view.  ``None`` (the
+        default) keeps the bare two-tuple keys — single-tenant runs
+        are byte-identical to pre-jobs behaviour."""
         if nstaging < 1:
             raise ValueError("need at least one staging process")
         self.env = env
+        self.tenant = tenant
         self.machine = machine
         self.operators = list(operators)
         self.ncompute = ncompute
@@ -149,6 +159,32 @@ class StagingClient:
         #: admission + staging buffer pools (None = no flow control)
         self.flow = None
 
+    # -- tenancy ------------------------------------------------------------
+    def key(self, compute_rank: int, step: int) -> tuple:
+        """The chunk key this pipeline presents to shared subsystems.
+
+        Bare ``(compute_rank, step)`` without a tenant; tenant-qualified
+        ``(tenant, compute_rank, step)`` under the jobs layer, so keys
+        from concurrent pipelines never collide in the shared flow
+        banks/pools or the checker's ledgers.  Internal client state
+        (buffers, scratches, request log) stays on the bare key — it is
+        already private to this client instance.
+        """
+        if self.tenant is None:
+            return (compute_rank, step)
+        return (self.tenant, compute_rank, step)
+
+    def obs_view(self):
+        """The observability facade this pipeline records through.
+
+        The engine's facade itself without a tenant (byte-identical to
+        pre-jobs behaviour); the tenant-scoped view otherwise.
+        """
+        obs = self.env.obs
+        if obs is None or self.tenant is None:
+            return obs
+        return obs.for_tenant(self.tenant)
+
     # -- routing ------------------------------------------------------------
     def route(self, compute_rank: int) -> int:
         """The validated staging rank serving *compute_rank*.
@@ -188,6 +224,14 @@ class StagingClient:
         """Switch transports to synchronous in-compute-node writes."""
         self.degraded = True
 
+    def exit_degraded_mode(self) -> None:
+        """Resume the staged write path (preemption governor recovery).
+
+        Only meaningful for pressure-driven degradation: after a stager
+        *failure* the routing/failover state decides, not this flag.
+        """
+        self.degraded = False
+
     def commit(self, compute_rank: int, step: int) -> None:
         """Release the compute-side buffer of a fully processed dump.
 
@@ -197,7 +241,7 @@ class StagingClient:
         """
         self._requests_log.pop((compute_rank, step), None)
         if self.env.check is not None:
-            self.env.check.on_committed((compute_rank, step))
+            self.env.check.on_committed(self.key(compute_rank, step))
         rec = self._buffers.pop((compute_rank, step), None)
         if rec is not None:
             self.machine.node(rec.node_id).free(rec.logical_nbytes)
@@ -212,7 +256,7 @@ class StagingClient:
         if self.flow is not None:
             # safety net: whatever path completed the step (including
             # zero-survivor replay), its credits must not leak
-            self.flow.release_credits((compute_rank, step))
+            self.flow.release_credits(self.key(compute_rank, step))
 
     def buffer_payload(self, compute_rank: int, step: int) -> Optional[bytes]:
         """Packed bytes of an uncommitted dump (controller replay path)."""
@@ -240,7 +284,7 @@ class StagingClient:
         Returns the visible (blocking) seconds.
         """
         env = self.env
-        obs = env.obs
+        obs = self.obs_view()
         tid = f"compute{comm.rank}"
         start = env.now
         node = self.machine.node(comm.node_id)
@@ -303,7 +347,7 @@ class StagingClient:
         pending.append(freed)
         if env.check is not None:
             env.check.on_packed(
-                (comm.rank, step.step), step.nbytes_logical, comm.node_id
+                self.key(comm.rank, step.step), step.nbytes_logical, comm.node_id
             )
 
         # Stage 1c: data-fetch request to the routed staging process.
@@ -408,7 +452,7 @@ class StagingClient:
             self.machine.node(rec.node_id).free(rec.logical_nbytes)
             rec.freed.succeed()
         if self.env.check is not None:
-            self.env.check.on_fetched(key, rec.logical_nbytes)
+            self.env.check.on_fetched(self.key(compute_rank, step), rec.logical_nbytes)
         return rec.payload
 
     @property
@@ -432,6 +476,10 @@ class StagingTransport(IOMethod):
         self.degraded_steps = 0
         #: steps degraded to the fallback by credit-admission overload
         self.overflow_steps = 0
+        #: optional admission gate (``repro.jobs`` preemption ladder):
+        #: while closed, every write of this transport holds here —
+        #: the "pause admission" tier above degrade-to-sync
+        self.admission_gate = None
 
     def _degraded_write(self, comm: Communicator, step: OutputStep) -> Generator:
         """Process body: synchronous fallback write + staging skip notice."""
@@ -441,14 +489,16 @@ class StagingTransport(IOMethod):
         self.degraded_steps += 1
         if comm.env.check is not None:
             comm.env.check.on_degraded(
-                (comm.rank, step.step), step.nbytes_logical
+                self.client.key(comm.rank, step.step), step.nbytes_logical
             )
 
     def write_step(self, comm: Communicator, step: OutputStep) -> Generator:
+        if self.admission_gate is not None:
+            yield from self.admission_gate.wait(comm.rank)
         if self.client.degraded and self.fallback is not None:
             start = comm.env.now
             yield from self._degraded_write(comm, step)
-            obs = comm.env.obs
+            obs = self.client.obs_view()
             if obs is not None:
                 obs.metrics.inc("degraded_steps", rank=comm.rank)
                 obs.instant(
@@ -469,14 +519,14 @@ class StagingTransport(IOMethod):
             target = self.client.route(comm.rank)
             granted = yield from flow.request_credits(
                 target,
-                (comm.rank, step.step),
+                self.client.key(comm.rank, step.step),
                 step.nbytes_logical,
                 can_degrade=self.fallback is not None,
             )
             if not granted:
                 yield from self._degraded_write(comm, step)
                 self.overflow_steps += 1
-                obs = comm.env.obs
+                obs = self.client.obs_view()
                 if obs is not None:
                     obs.metrics.inc("flow_overflow_steps", rank=comm.rank)
                     obs.instant(

@@ -67,7 +67,8 @@ class PreDatA:
         chunk_order: Optional[Callable] = None,
         resilience: Optional[ResilienceConfig] = None,
         fallback_io: Optional[IOMethod] = None,
-        flow: Optional[FlowConfig] = None,
+        flow: Optional[FlowConfig | FlowControl] = None,
+        tenant: Optional[str] = None,
     ):
         """``resilience`` enables the failure detection/recovery protocol
         (heartbeats, commit barrier, failover routing, degradation);
@@ -76,7 +77,15 @@ class PreDatA:
         ``flow`` enables the flow-control subsystem (credit-based
         admission, per-staging-node buffer pools with spill-to-FS,
         pressure-aware fetch throttling); None — the default — keeps
-        the pre-flow pipeline byte-identical."""
+        the pre-flow pipeline byte-identical.  A prebuilt
+        :class:`~repro.flow.FlowControl` (rather than a config) is
+        adopted as-is — the jobs layer shares one tenant-carved flow
+        object across several deployments this way.
+
+        ``tenant`` names this deployment's job under the multi-tenant
+        layer: chunk keys handed to shared flow/check state become
+        tenant-qualified and observability is scoped per tenant (see
+        :class:`~repro.core.client.StagingClient`)."""
         if machine.n_staging_nodes < 1:
             raise ValueError("machine has no staging nodes allocated")
         if ncompute_procs < 1:
@@ -113,9 +122,12 @@ class PreDatA:
             max_buffered_steps=max_buffered_steps,
             fetch_rate_cap=fetch_rate_cap,
             resilient=resilience is not None,
+            tenant=tenant,
         )
         self.flow: Optional[FlowControl] = None
-        if flow is not None:
+        if isinstance(flow, FlowControl):
+            self.flow = flow
+        elif flow is not None:
             self.flow = FlowControl(
                 env,
                 machine,
@@ -123,14 +135,16 @@ class PreDatA:
                 staging_rank_nodes=staging_rank_nodes,
                 fetch_rate_cap=fetch_rate_cap,
             )
+        if self.flow is not None:
             self.client.flow = self.flow
             self.scheduler.pressure = self.flow.pressure
-        self.fallback_io: Optional[IOMethod] = None
-        if resilience is not None or (
-            flow is not None and flow.codel_target is not None
+        self.fallback_io: Optional[IOMethod] = fallback_io
+        if self.fallback_io is None and (
+            resilience is not None
+            or (self.flow is not None and self.flow.config.codel_target is not None)
         ):
             # CoDel-degraded writes need a synchronous path to land on
-            self.fallback_io = fallback_io or SyncMPIIO(machine.filesystem)
+            self.fallback_io = SyncMPIIO(machine.filesystem)
         self.transport = StagingTransport(self.client, fallback=self.fallback_io)
         self.service = StagingService(
             env,

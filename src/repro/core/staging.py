@@ -296,7 +296,7 @@ class StagingService:
 
     def _run_step(self, comm: Communicator, step: int):
         env = self.env
-        obs = env.obs
+        obs = self.client.obs_view()
         tid = f"stage{comm.rank}"
         node = comm.node
         threads = self.config.threads_per_process
@@ -503,7 +503,7 @@ class StagingService:
                 )
             if env.check is not None:
                 env.check.on_mapped(
-                    (req.compute_rank, step), req.logical_nbytes
+                    self.client.key(req.compute_rank, step), req.logical_nbytes
                 )
             if ticket is not None:
                 pool.release(ticket)
@@ -511,7 +511,7 @@ class StagingService:
                     inflight["tickets"].remove(ticket)
                 except ValueError:
                     pass
-                flow.release_credits((req.compute_rank, step))
+                flow.release_credits(self.client.key(req.compute_rank, step))
             elif node is not None:
                 node.free(req.logical_nbytes)
                 inflight["alloc"] -= req.logical_nbytes
@@ -690,7 +690,7 @@ class StagingService:
                 proc.interrupt("fetch timed out")
             self.fetch_retries += 1
             if env.check is not None:
-                env.check.on_retry((req.compute_rank, step), attempt)
+                env.check.on_retry(self.client.key(req.compute_rank, step), attempt)
             if env.obs is not None:
                 env.obs.metrics.inc("fetch_retries", stage=comm.rank)
                 env.obs.instant(

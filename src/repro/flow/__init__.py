@@ -75,9 +75,7 @@ class FlowControl:
         #: node id -> BufferPool
         self.pools: dict[int, BufferPool] = {}
         for node_id in dict.fromkeys(self.staging_rank_nodes):
-            self.pools[node_id] = BufferPool(
-                env, machine.node(node_id), machine.filesystem, config
-            )
+            self.pools[node_id] = self._make_pool(node_id)
         ranks_per_node = Counter(self.staging_rank_nodes)
         #: staging rank -> CreditBank
         self.banks: dict[int, CreditBank] = {}
@@ -88,7 +86,7 @@ class FlowControl:
                 if config.credit_bytes is not None
                 else pool.capacity / ranks_per_node[node_id]
             )
-            self.banks[rank] = CreditBank(env, rank, capacity, config)
+            self.banks[rank] = self._make_bank(rank, capacity)
         throttle_rate = (
             config.throttle_rate
             or fetch_rate_cap
@@ -97,6 +95,16 @@ class FlowControl:
         self.pressure = PressureController(env, self.pools, config, throttle_rate)
         #: chunk key -> rank of the bank holding its grant
         self._grant_owner: dict = {}
+
+    # -- construction hooks (the jobs layer substitutes tenant-carved
+    # pools/banks by overriding these; see ``repro.jobs.share``) -------------
+    def _make_pool(self, node_id: int) -> BufferPool:
+        return BufferPool(
+            self.env, self.machine.node(node_id), self.machine.filesystem, self.config
+        )
+
+    def _make_bank(self, rank: int, capacity: float) -> CreditBank:
+        return CreditBank(self.env, rank, capacity, self.config)
 
     # -- lookup -------------------------------------------------------------
     def pool_for(self, node_id: int) -> Optional[BufferPool]:
@@ -143,7 +151,8 @@ class FlowControl:
         if bank is None:
             return
         for key, nbytes in sorted(bank.revoke_all().items()):
-            compute_rank = key[0]
+            # keys are (compute_rank, step) or (tenant, compute_rank, step)
+            compute_rank = key[-2]
             new_rank = reroute(compute_rank)
             if new_rank is None or new_rank == dead_rank:
                 self._grant_owner.pop(key, None)

@@ -44,6 +44,11 @@ class CreditBank:
         self.rank = rank
         self.capacity = float(capacity)
         self.config = config
+        #: extra metric labels (e.g. ``tenant=...`` under the jobs layer)
+        self.labels: dict = {}
+        #: optional share group for work-conserving borrow across sibling
+        #: banks carved from the same physical budget (see ``repro.jobs``)
+        self.group = None
         self._granted = 0.0
         #: outstanding grants keyed by (compute_rank, step)
         self._grants: dict = {}
@@ -84,8 +89,33 @@ class CreditBank:
     # -- grant bookkeeping --------------------------------------------------
     @staticmethod
     def _source_of(key):
-        """Compute rank behind a grant key ((compute_rank, step) or bare)."""
-        return key[0] if isinstance(key, tuple) and key else key
+        """Source identity behind a grant key: everything but the step.
+
+        Grant keys are ``(compute_rank, step)`` or, under the jobs
+        layer, ``(tenant, compute_rank, step)`` — either way the last
+        element is the step and the prefix identifies the source.
+        Taking ``key[0]`` of a tenant-qualified key would merge all of
+        one tenant's ranks into a single "source", so a rank with
+        nothing outstanding could be starved behind its siblings —
+        breaking the fresh-source progress rule the deadlock-freedom
+        argument rests on.
+        """
+        if isinstance(key, tuple) and key:
+            src = key[:-1]
+            return src[0] if len(src) == 1 else src
+        return key
+
+    def _fits(self, nbytes: float) -> bool:
+        """May *nbytes* be granted right now under the byte budget?
+
+        An idle bank always admits (a single chunk may exceed the whole
+        budget).  A bank in a share group may additionally borrow idle
+        budget from the group — the work-conserving redistribution of
+        the fair-share layer.
+        """
+        if self._granted + nbytes <= self.capacity or self._granted == 0.0:
+            return True
+        return self.group is not None and self.group.can_borrow(self, nbytes)
 
     def _grant(self, key, nbytes: float) -> None:
         self._grants[key] = nbytes
@@ -96,7 +126,7 @@ class CreditBank:
         obs = self.env.obs
         if obs is not None:
             obs.metrics.gauge_max(
-                "flow_credit_peak_bytes", self._granted, stage=self.rank
+                "flow_credit_peak_bytes", self._granted, stage=self.rank, **self.labels
             )
 
     def _note_sojourn(self, sojourn: float) -> None:
@@ -105,7 +135,7 @@ class CreditBank:
         obs = self.env.obs
         if obs is not None:
             obs.metrics.observe(
-                "flow_credit_sojourn_seconds", sojourn, stage=self.rank
+                "flow_credit_sojourn_seconds", sojourn, stage=self.rank, **self.labels
             )
         target = self.config.codel_target
         if target is not None and sojourn < target:
@@ -128,7 +158,7 @@ class CreditBank:
             # byte-budget grants are strictly FIFO (head-of-line)
             while self._waiters:
                 ev, key, nbytes, _t = self._waiters[0]
-                if self._granted + nbytes > self.capacity and self._granted > 0.0:
+                if not self._fits(nbytes):
                     break
                 self._waiters.popleft()
                 self._grant(key, nbytes)
@@ -156,9 +186,8 @@ class CreditBank:
         """
         if key in self._grants:
             return True  # redelivery/idempotent re-request
-        fits = self._granted + nbytes <= self.capacity or self._granted == 0.0
         fresh_source = self._source_out.get(self._source_of(key), 0) == 0
-        if (not self._waiters and fits) or fresh_source:
+        if (not self._waiters and self._fits(nbytes)) or fresh_source:
             self._grant(key, nbytes)
             self._note_sojourn(0.0)
             return True
@@ -188,7 +217,7 @@ class CreditBank:
         self.rejections += 1
         obs = self.env.obs
         if obs is not None:
-            obs.metrics.inc("flow_credit_rejections", stage=self.rank)
+            obs.metrics.inc("flow_credit_rejections", stage=self.rank, **self.labels)
             obs.instant(
                 "credit_reject", "flow", tid=f"stage{self.rank}",
                 key=repr(key), sojourn=self.env.now - entry[3],
@@ -217,6 +246,8 @@ class CreditBank:
         else:
             self._source_out.pop(src, None)
         self._pump()
+        if self.group is not None:
+            self.group.pump(exclude=self)
 
     def force_grant(self, key, nbytes: float) -> None:
         """Failover adoption: record a grant even when it overcommits.
@@ -240,4 +271,6 @@ class CreditBank:
         self._source_out.clear()
         self._granted = 0.0
         self._pump()
+        if self.group is not None:
+            self.group.pump(exclude=self)
         return moved

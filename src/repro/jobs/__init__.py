@@ -1,0 +1,65 @@
+"""Multi-tenant pipeline service: fair-share scheduling, provable isolation.
+
+``repro.jobs`` turns the single-pipeline PreDatA reproduction into a
+*service*: a :class:`JobManager` admits N independent tenant pipelines
+(each a full :class:`~repro.core.middleware.PreDatA` deployment running
+a seeded verification workload) concurrently onto one shared staging
+fleet, and makes three guarantees checkable rather than asserted:
+
+**Fair share.**  Every physical byte budget — buffer pool per staging
+node, credit bank per staging rank — is carved among tenants by weight
+(:mod:`repro.jobs.share`).  Idle carve is borrowable (work-conserving),
+the physical bound is never exceeded, and a tenant's burst spills its
+*own* cold chunks first — never a within-carve neighbor's.
+
+**Governed preemption.**  Under sustained pressure an optional governor
+walks a ladder over the lowest priority tier: degrade its writes to the
+synchronous path, then close its admission gate, with hysteretic resume
+(:class:`~repro.jobs.config.PreemptionConfig`).
+
+**Provable isolation.**  A :class:`~repro.check.MultiTenantChecker`
+keeps independent chunk/byte/credit/memory ledgers per tenant that must
+each conserve on their own, and :mod:`repro.jobs.isolation` cross-checks
+that every undisturbed tenant's result fingerprint under contention is
+byte-identical to its solo run: contention may cost time, never bytes.
+
+CLI: ``python -m repro jobs run|fuzz`` (see :mod:`repro.jobs.cli`).
+"""
+
+from repro.jobs.config import JobSpec, PreemptionConfig, TenancyConfig
+from repro.jobs.isolation import isolation_violations, jains_index, solo_fingerprint
+from repro.jobs.manager import (
+    AdmissionGate,
+    JobHandle,
+    JobManager,
+    JobResult,
+    JobsReport,
+)
+from repro.jobs.share import (
+    CreditShareGroup,
+    NodeShareGroup,
+    ShareGroup,
+    StagingFleet,
+    TenantBufferPool,
+    TenantFlowControl,
+)
+
+__all__ = [
+    "AdmissionGate",
+    "CreditShareGroup",
+    "JobHandle",
+    "JobManager",
+    "JobResult",
+    "JobSpec",
+    "JobsReport",
+    "NodeShareGroup",
+    "PreemptionConfig",
+    "ShareGroup",
+    "StagingFleet",
+    "TenancyConfig",
+    "TenantBufferPool",
+    "TenantFlowControl",
+    "isolation_violations",
+    "jains_index",
+    "solo_fingerprint",
+]

@@ -19,13 +19,36 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-__all__ = ["HistogramStat", "MetricsRegistry"]
+__all__ = ["HistogramStat", "MetricsRegistry", "BoundMetrics", "RESERVED_LABELS"]
 
 LabelKey = tuple[str, tuple[tuple[str, object], ...]]
+
+#: labels only the harness may inject (via :meth:`MetricsRegistry.bound`),
+#: never individual instrumentation sites — a site passing one explicitly
+#: would silently fork the series the jobs layer aggregates per tenant.
+RESERVED_LABELS = frozenset({"tenant"})
 
 
 def _key(name: str, labels: dict[str, object]) -> LabelKey:
     return (name, tuple(sorted(labels.items())))
+
+
+def _label_sort_key(labels: tuple[tuple[str, object], ...]) -> tuple:
+    """Type-stable sort key for one frozen label tuple.
+
+    Plain ``sorted()`` over label tuples raises ``TypeError`` the moment
+    one series carries ``rank=0`` and another ``rank="governor"`` — which
+    is exactly what happens once a global ``tenant`` label (a string) is
+    injected next to numeric ranks.  Numbers still sort numerically among
+    themselves, strings lexically; mixed types order by kind.
+    """
+    out = []
+    for k, v in labels:
+        if isinstance(v, (int, float)) and not isinstance(v, bool):
+            out.append((k, 1, "", float(v)))
+        else:
+            out.append((k, 0, str(v), 0.0))
+    return tuple(out)
 
 
 @dataclass
@@ -109,7 +132,30 @@ class MetricsRegistry:
 
     def labelled(self, name: str) -> list[tuple[dict, float]]:
         """``(labels-dict, value)`` pairs of counter/gauge *name*."""
-        return [(dict(labels), v) for labels, v in sorted(self.series(name).items())]
+        rows = sorted(
+            self.series(name).items(), key=lambda kv: _label_sort_key(kv[0])
+        )
+        return [(dict(labels), v) for labels, v in rows]
+
+    # -- label binding --------------------------------------------------------
+    def bound(self, **labels: object) -> "MetricsRegistry | BoundMetrics":
+        """A write-through view with *labels* pre-merged into every update.
+
+        With no labels this returns the registry itself, so code holding
+        a bound view is byte-identical to code holding the registry when
+        nothing is bound (the jobs-mode-off guarantee).  Bound label
+        names must come from :data:`RESERVED_LABELS`: the harness owns
+        them, instrumentation sites may never set them directly.
+        """
+        if not labels:
+            return self
+        bad = set(labels) - RESERVED_LABELS
+        if bad:
+            raise ValueError(
+                f"only reserved labels {sorted(RESERVED_LABELS)} may be "
+                f"bound globally, got {sorted(bad)}"
+            )
+        return BoundMetrics(self, labels)
 
     def names(self) -> set[str]:
         """Every metric name seen so far."""
@@ -129,12 +175,17 @@ class MetricsRegistry:
 
     def summary_rows(self) -> list[tuple[str, str, str]]:
         """``(metric, kind, value)`` rows, sorted by metric name."""
+
+        def order(item):
+            (name, labels), _v = item
+            return (name, _label_sort_key(labels))
+
         rows: list[tuple[str, str, str]] = []
-        for (name, labels), v in sorted(self._counters.items()):
+        for (name, labels), v in sorted(self._counters.items(), key=order):
             rows.append((name + self._fmt_labels(labels), "counter", f"{v:g}"))
-        for (name, labels), v in sorted(self._gauges.items()):
+        for (name, labels), v in sorted(self._gauges.items(), key=order):
             rows.append((name + self._fmt_labels(labels), "gauge", f"{v:g}"))
-        for (name, labels), h in sorted(self._histograms.items()):
+        for (name, labels), h in sorted(self._histograms.items(), key=order):
             rows.append(
                 (
                     name + self._fmt_labels(labels),
@@ -161,3 +212,81 @@ class MetricsRegistry:
         for r in rows:
             lines.append(" | ".join(c.ljust(w) for c, w in zip(r, widths, strict=True)))
         return "\n".join(lines)
+
+
+class BoundMetrics:
+    """Write-through registry view with reserved labels pre-bound.
+
+    Created by :meth:`MetricsRegistry.bound` — e.g. the jobs layer hands
+    each tenant's pipeline a view bound to ``tenant=<id>`` so every
+    counter/gauge/histogram the pipeline records lands in a per-tenant
+    series without the instrumentation sites knowing about tenancy.
+    A call site passing a bound label explicitly is a bug (the series
+    would fork) and raises.  Reads pass straight through to the shared
+    registry, so cross-tenant aggregation stays available.
+    """
+
+    __slots__ = ("_registry", "_labels")
+
+    def __init__(self, registry: MetricsRegistry, labels: dict[str, object]):
+        self._registry = registry
+        self._labels = dict(labels)
+
+    @property
+    def bound_labels(self) -> dict[str, object]:
+        return dict(self._labels)
+
+    def _merge(self, labels: dict[str, object]) -> dict[str, object]:
+        hit = self._labels.keys() & labels.keys()
+        if hit:
+            raise ValueError(
+                f"label(s) {sorted(hit)} are bound on this view and may "
+                "not be passed by the call site"
+            )
+        merged = dict(labels)
+        merged.update(self._labels)
+        return merged
+
+    # -- bound updates --------------------------------------------------------
+    def inc(self, name: str, value: float = 1.0, **labels: object) -> None:
+        self._registry.inc(name, value, **self._merge(labels))
+
+    def gauge_set(self, name: str, value: float, **labels: object) -> None:
+        self._registry.gauge_set(name, value, **self._merge(labels))
+
+    def gauge_max(self, name: str, value: float, **labels: object) -> None:
+        self._registry.gauge_max(name, value, **self._merge(labels))
+
+    def observe(self, name: str, value: float, **labels: object) -> None:
+        self._registry.observe(name, value, **self._merge(labels))
+
+    # -- bound reads ----------------------------------------------------------
+    def counter(self, name: str, **labels: object) -> float:
+        return self._registry.counter(name, **self._merge(labels))
+
+    def gauge(self, name: str, **labels: object) -> float | None:
+        return self._registry.gauge(name, **self._merge(labels))
+
+    def histogram(self, name: str, **labels: object) -> HistogramStat | None:
+        return self._registry.histogram(name, **self._merge(labels))
+
+    # -- registry-wide reads (deliberately unscoped) ---------------------------
+    def series(self, name: str):
+        return self._registry.series(name)
+
+    def labelled(self, name: str) -> list[tuple[dict, float]]:
+        return self._registry.labelled(name)
+
+    def names(self) -> set[str]:
+        return self._registry.names()
+
+    def summary_rows(self) -> list[tuple[str, str, str]]:
+        return self._registry.summary_rows()
+
+    def summary_table(self, title: str = "metrics") -> str:
+        return self._registry.summary_table(title)
+
+    def bound(self, **labels: object) -> "MetricsRegistry | BoundMetrics":
+        if not labels:
+            return self
+        return self._registry.bound(**{**self._labels, **labels})
