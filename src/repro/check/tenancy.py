@@ -69,42 +69,53 @@ class MultiTenantChecker:
 
     # -- keyed hooks (demultiplexed per tenant) ----------------------------
     def on_packed(self, key, nbytes: float, node_id: int) -> None:
+        """Route a packed-chunk record to its tenant ledger."""
         self._route(key).on_packed(key, nbytes, node_id)
 
     def on_fetched(self, key, nbytes: float) -> None:
+        """Route a completed-fetch record to its tenant ledger."""
         self._route(key).on_fetched(key, nbytes)
 
     def on_mapped(self, key, nbytes: float) -> None:
+        """Route a Map-completion record to its tenant ledger."""
         self._route(key).on_mapped(key, nbytes)
 
     def on_degraded(self, key, nbytes: float) -> None:
+        """Route a degraded-path record to its tenant ledger."""
         self._route(key).on_degraded(key, nbytes)
 
     def on_committed(self, key) -> None:
+        """Route a buffer-commit record to its tenant ledger."""
         self._route(key).on_committed(key)
 
     def on_credit_granted(self, key, nbytes: float, rank: int) -> None:
+        """Route a credit grant to its tenant ledger."""
         self._route(key).on_credit_granted(key, nbytes, rank)
 
     def on_credit_released(self, key, rank: int) -> None:
+        """Route a credit release to its tenant ledger."""
         self._route(key).on_credit_released(key, rank)
 
     def on_retry(self, key, attempt: int) -> None:
+        """Route a fetch-retry record to its tenant ledger."""
         self._route(key).on_retry(key, attempt)
 
     # -- unkeyed hooks ------------------------------------------------------
     def on_movement_admitted(
         self, node_id: int, *, in_phase: bool, forced: bool
     ) -> None:
+        """Record one movement admission globally (the rule is tenant-agnostic)."""
         self.admissions.append((node_id, in_phase, forced))
         if forced:
             self.forced_admissions += 1
 
     def on_restart(self, rank: int, step: int) -> None:
+        """Broadcast a step restart to every tenant ledger."""
         for checker in self.checkers.values():
             checker.on_restart(rank, step)
 
     def on_fault(self, kind: str, detail) -> None:
+        """Broadcast an injected fault to every tenant ledger."""
         for checker in self.checkers.values():
             checker.on_fault(kind, detail)
 

@@ -67,11 +67,13 @@ class AdmissionGate:
         return self._open
 
     def close(self) -> None:
+        """Stop admitting writes; subsequent ``wait`` calls hold."""
         if self._open:
             self._open = False
             self.closures += 1
 
     def open(self) -> None:
+        """Reopen the gate, releasing every held writer at once."""
         if not self._open:
             self._open = True
             ev = self._ev
@@ -163,9 +165,11 @@ class JobsReport:
         return not self.violations
 
     def fingerprints(self) -> dict[str, str]:
+        """Tenant -> physics-level result fingerprint."""
         return {t: r.fingerprint for t, r in self.results.items()}
 
     def summary(self) -> str:
+        """One-line outcome: jobs, rank-steps, sim time, violations."""
         done = sum(1 for r in self.results.values() if not r.cancelled)
         return (
             f"{len(self.results)} job(s), {done} completed, "

@@ -61,6 +61,7 @@ class ShareGroup:
         member.group = self
 
     def members(self) -> list:
+        """Registered members, in deterministic tenant order."""
         return [m for _t, m in self._members]
 
     def _usage(self, member) -> float:

@@ -178,15 +178,18 @@ class TenantObservability:
         end: float | None = None,
         **args: object,
     ) -> Span:
+        """Open a span on this tenant's track, tagged ``tenant=``."""
         return self.base.span(
             name, cat, start,
             tid=f"{self.tenant}/{tid}", end=end, tenant=self.tenant, **args,
         )
 
     def instant(self, name: str, cat: str, *, tid: str = "main", **args: object) -> Span:
+        """Emit an instant event on this tenant's track."""
         return self.base.instant(
             name, cat, tid=f"{self.tenant}/{tid}", tenant=self.tenant, **args
         )
 
     def for_tenant(self, tenant: str | None):
+        """This view for its own tenant/None; another tenant's otherwise."""
         return self if tenant in (None, self.tenant) else self.base.for_tenant(tenant)

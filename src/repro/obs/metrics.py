@@ -249,44 +249,57 @@ class BoundMetrics:
 
     # -- bound updates --------------------------------------------------------
     def inc(self, name: str, value: float = 1.0, **labels: object) -> None:
+        """Add *value* to the counter, with the bound labels merged in."""
         self._registry.inc(name, value, **self._merge(labels))
 
     def gauge_set(self, name: str, value: float, **labels: object) -> None:
+        """Set the gauge, with the bound labels merged in."""
         self._registry.gauge_set(name, value, **self._merge(labels))
 
     def gauge_max(self, name: str, value: float, **labels: object) -> None:
+        """Raise the gauge if higher, with the bound labels merged in."""
         self._registry.gauge_max(name, value, **self._merge(labels))
 
     def observe(self, name: str, value: float, **labels: object) -> None:
+        """Feed the histogram, with the bound labels merged in."""
         self._registry.observe(name, value, **self._merge(labels))
 
     # -- bound reads ----------------------------------------------------------
     def counter(self, name: str, **labels: object) -> float:
+        """Read one counter scoped to the bound labels."""
         return self._registry.counter(name, **self._merge(labels))
 
     def gauge(self, name: str, **labels: object) -> float | None:
+        """Read one gauge scoped to the bound labels."""
         return self._registry.gauge(name, **self._merge(labels))
 
     def histogram(self, name: str, **labels: object) -> HistogramStat | None:
+        """Read one histogram summary scoped to the bound labels."""
         return self._registry.histogram(name, **self._merge(labels))
 
     # -- registry-wide reads (deliberately unscoped) ---------------------------
     def series(self, name: str):
+        """All label combinations of *name*, registry-wide (unscoped)."""
         return self._registry.series(name)
 
     def labelled(self, name: str) -> list[tuple[dict, float]]:
+        """Registry-wide ``(labels, value)`` rows of *name* (unscoped)."""
         return self._registry.labelled(name)
 
     def names(self) -> set[str]:
+        """Every metric name in the shared registry."""
         return self._registry.names()
 
     def summary_rows(self) -> list[tuple[str, str, str]]:
+        """The shared registry's full summary rows."""
         return self._registry.summary_rows()
 
     def summary_table(self, title: str = "metrics") -> str:
+        """The shared registry's aligned plain-text dump."""
         return self._registry.summary_table(title)
 
     def bound(self, **labels: object) -> "MetricsRegistry | BoundMetrics":
+        """A further-bound view; no labels returns this view unchanged."""
         if not labels:
             return self
         return self._registry.bound(**{**self._labels, **labels})
