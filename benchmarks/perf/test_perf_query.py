@@ -1,0 +1,23 @@
+"""Query-serving benchmark: offered-load sweep, guarded.
+
+Unlike the other perf groups, every guard here is *simulated*-time
+derived (completion ratio, cache hit rate, SLO attainment at each
+offered load), so the comparison against the committed baseline is
+exact across hosts — any drift is a behavioural regression in the
+serving layer, never machine noise.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.bench import bench_query
+
+pytestmark = pytest.mark.perf
+
+
+def test_query_serving_guards_hold(bench_guard):
+    record = bench_guard("query", bench_query())
+    assert len(record["points"]) >= 3
+    for point in record["points"]:
+        assert point["completed"] > 0

@@ -1,0 +1,53 @@
+"""Query serving under open-loop client traffic.
+
+Sweeps offered load against the staging area's query service and
+emits ``BENCH_query.json`` (p50/p99 latency, hit rate, and the
+admission ladder counts per load point) for the perf-regression
+harness and the CI artifact.
+
+Shape claims asserted:
+
+- latencies are well-ordered (p99 >= p50 > 0) at every load;
+- repeated queries hit the result cache, and the hit rate *rises*
+  with offered load (more traffic means more repeats per unique
+  query between invalidations);
+- at the top (pressure) load the admission ladder engages — some
+  queries degrade to stale-bounded cache reads — while accounting
+  stays exact: every issued query is either completed or shed;
+- the in-flight window was actually queried (partial answers served).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.perf.bench import write_record
+from repro.serve.bench import DEFAULT_LOADS, bench_query
+from repro.experiments.report import fmt_pct, format_table
+
+
+def test_query_serving(once):
+    record = once(bench_query, DEFAULT_LOADS)
+    write_record("query", record, Path(os.environ.get("BENCH_DIR", ".")))
+    points = record["points"]
+    print()
+    print(format_table(
+        ["offered q/s", "issued", "done", "degraded", "shed", "partial",
+         "p50 ms", "p99 ms", "hit rate"],
+        [[f"{p['offered_qps']:g}", p["issued"], p["completed"],
+          p["degraded"], p["shed"], p["partial_answers"],
+          f"{p['p50'] * 1e3:.3f}", f"{p['p99'] * 1e3:.3f}",
+          fmt_pct(p["hit_rate"])] for p in points],
+        title="Query serving — offered-load sweep",
+    ))
+    for p in points:
+        assert p["p99"] >= p["p50"] > 0.0
+        assert p["completed"] + p["shed"] == p["issued"]
+        assert p["hit_rate"] > 0.0
+        assert p["partial_answers"] > 0
+    # more traffic -> more repeats between invalidations -> hotter cache
+    assert points[-1]["hit_rate"] > points[0]["hit_rate"]
+    # the top load point drives the admission ladder
+    assert points[-1]["degraded"] > 0
+    assert points[-1]["stale_served"] > 0

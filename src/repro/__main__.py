@@ -22,6 +22,10 @@ Commands map to the experiment harness:
   concurrently on one shared staging fleet with fair-share carves,
   per-tenant ledgers and solo-vs-contended isolation cross-checks
   (``run``/``fuzz``; see ``python -m repro jobs --help``)
+- ``serve``          — query-serving subsystem: offered-load sweep of
+  point/range/aggregation queries with result caching, Hilbert-sharded
+  index ownership and credit/CoDel admission; writes
+  ``BENCH_query.json`` (see ``python -m repro serve --help``)
 
 ``fig7``, ``headline`` and ``chaos`` accept ``--trace [PATH]`` to dump
 a Chrome ``trace_event`` file (viewable in https://ui.perfetto.dev), a
@@ -57,11 +61,16 @@ def main(argv=None) -> int:
         from repro.jobs.cli import main as jobs_main
 
         return jobs_main(argv[1:])
+    if argv and argv[0] == "serve":
+        # the query-serving CLI owns its own argument set
+        from repro.serve.cli import main as serve_main
+
+        return serve_main(argv[1:])
     parser.add_argument(
         "command",
         choices=["run-all", "fig7", "fig8", "fig9", "fig10", "fig11",
                  "headline", "utilization", "chaos", "check", "perf",
-                 "jobs"],
+                 "jobs", "serve"],
         help="experiment to run",
     )
     parser.add_argument("--fast", action="store_true",

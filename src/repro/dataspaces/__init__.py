@@ -21,7 +21,13 @@ blocks, and index metadata redistributes by observed load
 (:mod:`repro.dataspaces.space`).
 """
 
-from repro.dataspaces.sfc import hilbert_d2xy, hilbert_xy2d, morton_decode, morton_encode
+from repro.dataspaces.sfc import (
+    hilbert_d2xy,
+    hilbert_owner,
+    hilbert_xy2d,
+    morton_decode,
+    morton_encode,
+)
 from repro.dataspaces.space import (
     DataSpaces,
     DSQueryStats,
@@ -33,6 +39,7 @@ __all__ = [
     "DSQueryStats",
     "Region",
     "hilbert_d2xy",
+    "hilbert_owner",
     "hilbert_xy2d",
     "morton_decode",
     "morton_encode",

@@ -14,7 +14,13 @@ property.
 
 from __future__ import annotations
 
-__all__ = ["hilbert_xy2d", "hilbert_d2xy", "morton_encode", "morton_decode"]
+__all__ = [
+    "hilbert_xy2d",
+    "hilbert_d2xy",
+    "hilbert_owner",
+    "morton_encode",
+    "morton_decode",
+]
 
 
 def hilbert_xy2d(order: int, x: int, y: int) -> int:
@@ -60,6 +66,22 @@ def hilbert_d2xy(order: int, d: int) -> tuple[int, int]:
         t //= 4
         s <<= 1
     return x, y
+
+
+def hilbert_owner(order: int, x: int, y: int, nowners: int) -> int:
+    """Owner of grid cell ``(x, y)`` among *nowners* curve segments.
+
+    The ``2^order x 2^order`` grid is linearised along the Hilbert
+    curve and cut into *nowners* equal contiguous segments, so each
+    owner holds one locality-preserving region of the key space — the
+    hashing DataSpaces uses to spread index blocks over its servers,
+    reused by :mod:`repro.serve` to assign index shards to staging
+    nodes.
+    """
+    if nowners < 1:
+        raise ValueError("need at least one owner")
+    ncells = 1 << (2 * order)
+    return hilbert_xy2d(order, x, y) * nowners // ncells
 
 
 def _part1by_n(v: int, ndims: int, nbits: int) -> int:

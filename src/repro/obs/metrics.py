@@ -17,6 +17,7 @@ touches the simulation clock, so instrumented runs stay deterministic.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 __all__ = ["HistogramStat", "MetricsRegistry", "BoundMetrics", "RESERVED_LABELS"]
@@ -53,15 +54,32 @@ def _label_sort_key(labels: tuple[tuple[str, object], ...]) -> tuple:
 
 @dataclass
 class HistogramStat:
-    """Streaming summary of one observed distribution."""
+    """Streaming summary of one observed distribution.
+
+    Besides count/total/min/max, a bounded, deterministically decimated
+    sample buffer is retained so tail quantiles (p50/p99 latencies) can
+    be read back: once the buffer reaches :data:`SAMPLE_CAP` samples it
+    is thinned to every other element and the retention stride doubles.
+    The decimation depends only on the observation sequence, never on a
+    clock or RNG, so instrumented runs stay deterministic.
+    """
+
+    SAMPLE_CAP = 2048
 
     count: int = 0
     total: float = 0.0
     minimum: float = field(default=float("inf"))
     maximum: float = field(default=float("-inf"))
+    samples: list = field(default_factory=list, repr=False)
+    sample_stride: int = field(default=1, repr=False)
 
     def observe(self, value: float) -> None:
         """Fold *value* into the running count/total/min/max."""
+        if self.count % self.sample_stride == 0:
+            self.samples.append(value)
+            if len(self.samples) >= self.SAMPLE_CAP:
+                self.samples = self.samples[::2]
+                self.sample_stride *= 2
         self.count += 1
         self.total += value
         self.minimum = min(self.minimum, value)
@@ -70,6 +88,21 @@ class HistogramStat:
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Nearest-rank *q*-quantile over the retained samples.
+
+        Exact while fewer than :data:`SAMPLE_CAP` values have been
+        observed; an even-stride approximation afterwards.  Returns 0.0
+        before any observation.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if not self.samples:
+            return 0.0
+        ordered = sorted(self.samples)
+        rank = min(len(ordered), max(1, math.ceil(q * len(ordered))))
+        return ordered[rank - 1]
 
 
 class MetricsRegistry:

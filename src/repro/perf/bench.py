@@ -283,10 +283,19 @@ def compare(record: dict, baseline: dict, tolerance: float = 0.2) -> list[str]:
     return problems
 
 
+def _bench_query() -> dict:
+    # lazy: repro.serve pulls in repro.query/operators, which must not
+    # load just because the perf module was imported
+    from repro.serve.bench import bench_query
+
+    return bench_query()
+
+
 _BENCHES: dict[str, Callable[..., dict]] = {
     "kernels": bench_kernels,
     "ffs": bench_ffs,
     "engine": bench_engine,
+    "query": _bench_query,
 }
 
 

@@ -141,13 +141,19 @@ class RangeQueryEngine:
             bulk_loads += 1
             for col, (lo, hi) in post.items():
                 keep = (candidates[:, col] >= lo) & (candidates[:, col] <= hi)
-                rows_checked += candidates.shape[0]
                 candidates = candidates[keep]
+                # charge only the candidates that survive this column:
+                # charging the pre-narrowing count once per post column
+                # double-counts rows and can push rows_checked past
+                # total_rows, turning scan_avoided_fraction negative
+                rows_checked += candidates.shape[0]
             hits.append(candidates)
         rows = (
             np.concatenate(hits)
             if hits
-            else np.empty((0, self.partitions[0].shape[1]))
+            # empty result in the partitions' dtype, not float64
+            else np.empty((0, self.partitions[0].shape[1]),
+                          dtype=self.partitions[0].dtype)
         )
         return RangeQueryReport(
             rows=rows,
@@ -169,5 +175,6 @@ class RangeQueryEngine:
         return (
             np.concatenate(out)
             if out
-            else np.empty((0, self.partitions[0].shape[1]))
+            else np.empty((0, self.partitions[0].shape[1]),
+                          dtype=self.partitions[0].dtype)
         )

@@ -72,8 +72,14 @@ class SortedStepStore:
     def total_rows(self) -> int:
         return sum(b.shape[0] for b in self.buckets)
 
-    def find(self, label: float) -> Optional[np.ndarray]:
-        """Return the row with *label*, or None."""
+    def find(self, label) -> Optional[np.ndarray]:
+        """Return the row with *label*, or None.
+
+        The label is compared against the key column in the buckets'
+        own dtype — it is never coerced through ``float``, so int64
+        labels >= 2**53 (beyond float64's exact-integer range) match
+        exactly instead of colliding with their neighbours.
+        """
         if self.sorted:
             if not self.buckets:
                 return None
@@ -108,7 +114,7 @@ class TrackResult:
     rows_examined: int = 0
     steps_searched: int = 0
 
-    def positions(self, label: float) -> np.ndarray:
+    def positions(self, label) -> np.ndarray:
         """(nsteps, 3) coordinates of one particle (NaN where absent)."""
         rows = self.trajectories[label]
         out = np.full((len(rows), 3), np.nan)
@@ -126,14 +132,21 @@ class ParticleTracker:
             raise ValueError("need at least one step store")
         self.steps = list(steps)
 
-    def track(self, labels: Sequence[float]) -> TrackResult:
-        """Follow every label through every step."""
-        labels = np.asarray(labels, dtype=float)
+    def track(self, labels: Sequence) -> TrackResult:
+        """Follow every label through every step.
+
+        The labels' dtype is preserved end-to-end: integer labels stay
+        integers (trajectory keys are exact Python ints), so particle
+        labels >= 2**53 are never silently rounded through float64.
+        """
+        labels = np.asarray(labels)
         result = TrackResult(labels=labels)
         before = sum(s.rows_examined for s in self.steps)
         for label in labels:
-            result.trajectories[float(label)] = [
-                store.find(float(label)) for store in self.steps
+            # .item() yields the exact native scalar (int for integer
+            # dtypes, float for floating ones) as the trajectory key
+            result.trajectories[label.item()] = [
+                store.find(label) for store in self.steps
             ]
         result.rows_examined = (
             sum(s.rows_examined for s in self.steps) - before

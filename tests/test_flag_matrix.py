@@ -118,6 +118,83 @@ def test_traced_runs_recorded_schedules(matrix):
         assert sinks["schedule_trace"].count > 0
 
 
+def _serve_pass(run) -> str:
+    """Serve a fixed query set over the run's recovered arrays.
+
+    The serving layer is a separate post-pass (its own engine) over the
+    pipeline's outputs; this digests every answer so two passes can be
+    compared byte-for-byte.
+    """
+    import hashlib
+
+    import numpy as np
+
+    from repro.serve import Query, QueryService
+    from repro.sim.engine import Engine
+
+    env = Engine()
+    service = QueryService(env, indexed_columns=(0,))
+    lo = hi = None
+    for step in range(4):  # the matrix workload's nsteps
+        arr = None
+        for f in (run.merged, run.fallback_file):
+            if f is None:
+                continue
+            try:
+                arr = f.read_global_array("rho", step)
+                break
+            except Exception:
+                continue
+        assert arr is not None, f"step {step} unreadable from any file"
+        rows = np.asarray(arr, dtype=np.float64).reshape(arr.shape[0], -1)
+        service.commit_step("rho", step, partitions=np.array_split(rows, 4))
+        lo = rows[:, 0].min() if lo is None else min(lo, rows[:, 0].min())
+        hi = rows[:, 0].max() if hi is None else max(hi, rows[:, 0].max())
+    span = (hi - lo) or 1.0
+    queries = [
+        Query.range("rho", {0: (lo, hi)}, step=0),
+        Query.range("rho", {0: (lo, lo + 0.5 * span)}, step=3),
+        Query.range("rho", {0: (lo, hi)}, step=0),  # repeat -> cache
+        Query.aggregate("rho", {0: (lo, hi)}, agg_col=0, step=2),
+    ]
+    digest = hashlib.sha256()
+    answers = {}
+
+    def client():
+        for qid, q in enumerate(queries):
+            answers[qid] = yield from service.serve("matrix", qid, q)
+
+    env.process(client())
+    env.run()
+    for qid in range(len(queries)):
+        a = answers[qid]
+        digest.update(f"{qid}:{a.source}:{a.step}:{a.latency!r}".encode())
+        if a.rows is not None:
+            digest.update(repr(a.rows.shape).encode())
+            digest.update(np.ascontiguousarray(a.rows).tobytes())
+        if a.aggregate is not None:
+            digest.update(repr(sorted(a.aggregate.items())).encode())
+    return digest.hexdigest()
+
+
+def test_serve_pass_leaves_the_run_byte_identical(matrix):
+    """Serving queries over a finished run must not move its
+    fingerprint (the serving layer is strictly additive), and the
+    serve pass itself must be deterministic."""
+    combo = (False, False, False, "vectorized")
+    fp_before, run, _ = matrix[combo]
+    first = _serve_pass(run)
+    assert fingerprint(run) == fp_before
+    assert _serve_pass(run) == first
+
+
+def test_serve_pass_consistent_across_trace_dimension(matrix):
+    """Byte-identical runs must serve byte-identical answers."""
+    d_off = _serve_pass(matrix[(False, False, False, "vectorized")][1])
+    d_on = _serve_pass(matrix[(False, True, False, "vectorized")][1])
+    assert d_off == d_on
+
+
 def test_invariants_hold_across_the_matrix(matrix):
     """The checker passes on every traced combo, including flow + chaos."""
     for combo, (_fp, run, sinks) in matrix.items():

@@ -98,7 +98,17 @@ def test_compare_only_enforces_baseline_guards():
 # committed baselines as data
 # ---------------------------------------------------------------------
 
-@pytest.mark.parametrize("name", ["kernels", "ffs", "engine"])
+def test_bench_query_record_shape():
+    from repro.serve.bench import bench_query
+
+    record = bench_query(loads=(50.0,), duration=0.25)
+    assert record["bench"] == "query"
+    assert len(record["points"]) == 1
+    assert record["guards"]["served:load50"] > 0.0
+    assert all(v >= 0 for v in record["guards"].values())
+
+
+@pytest.mark.parametrize("name", ["kernels", "ffs", "engine", "query"])
 def test_committed_baseline_is_well_formed(name):
     path = bench.default_baseline_dir() / f"BENCH_{name}.json"
     baseline = json.loads(path.read_text())
@@ -122,15 +132,22 @@ def test_committed_kernel_baseline_meets_acceptance_floor():
 # the timed full-size guard (opt-in: --perf-baseline)
 # ---------------------------------------------------------------------
 
-@pytest.mark.parametrize("name", ["kernels", "ffs", "engine"])
+@pytest.mark.parametrize("name", ["kernels", "ffs", "engine", "query"])
 def test_full_size_guards_match_baseline(perf_baseline_dir, name):
     base_path = perf_baseline_dir / f"BENCH_{name}.json"
     if not base_path.exists():
         pytest.skip(f"no baseline at {base_path}")
+
+    def run_query():
+        from repro.serve.bench import bench_query
+
+        return bench_query()
+
     runner = {
         "kernels": bench.bench_kernels,
         "ffs": bench.bench_ffs,
         "engine": bench.bench_engine,
+        "query": run_query,
     }[name]
     record = runner()
     problems = bench.compare(record, json.loads(base_path.read_text()))

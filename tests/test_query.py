@@ -179,6 +179,145 @@ def test_index_is_compressed():
     assert engine.index_nbytes < 4000
 
 
+# ------------------------------------------------- regression: dtypes
+def test_tracker_preserves_large_int64_labels():
+    """Labels >= 2**53 must never be rounded through float64.
+
+    2**53 + 1 is not representable as a float64; the old ``float()``
+    coercion mapped it onto 2**53, silently returning the *wrong
+    particle's* row.
+    """
+    base = 2**53
+    n = 16
+    labels = base + np.arange(n, dtype=np.int64)
+    data = np.column_stack(
+        [np.arange(n, dtype=np.int64) * 7, labels]
+    )  # col 0: payload, col 1: label
+    store = SortedStepStore([data[: n // 2], data[n // 2 :]], key_column=1)
+    for off in (1, 3, n - 1):
+        row = store.find(base + off)
+        assert row is not None
+        assert row[1] == base + off  # exact match, no neighbour collision
+        assert row[0] == off * 7
+    # the float64-rounded neighbour must NOT be returned for a miss
+    assert store.find(base + n + 1) is None
+
+
+def test_tracker_track_keeps_integer_keys_exact():
+    base = 2**53
+    n = 8
+    labels = base + np.arange(n, dtype=np.int64)
+    data = np.column_stack([labels % 97, labels % 89, labels % 83, labels])
+    stores = [SortedStepStore([data], key_column=3) for _ in range(2)]
+    result = ParticleTracker(stores).track([base + 1, base + 5])
+    assert result.labels.dtype == np.int64
+    # trajectory keys are exact Python ints, not rounded floats
+    assert set(result.trajectories) == {base + 1, base + 5}
+    for off in (1, 5):
+        for row in result.trajectories[base + off]:
+            assert row is not None and row[3] == base + off
+
+
+def test_unsorted_store_large_int64_labels():
+    base = 2**53
+    labels = base + np.arange(10, dtype=np.int64)
+    data = np.column_stack([labels, labels * 3])
+    store = SortedStepStore([data[::-1]], key_column=0, sorted_=False)
+    row = store.find(base + 3)
+    assert row is not None and row[1] == (base + 3) * 3
+
+
+@pytest.mark.parametrize("dtype", [np.float32, np.int64])
+def test_empty_range_query_result_preserves_dtype(dtype):
+    """No-match results must carry the partitions' dtype, not float64."""
+    parts = [np.arange(40, dtype=dtype).reshape(10, 4) for _ in range(3)]
+    engine = RangeQueryEngine(parts, indexed_columns=[0], bins=8)
+    report = engine.query({0: (1e6, 2e6)})  # beyond every partition
+    assert report.rows.shape == (0, 4)
+    assert report.rows.dtype == dtype
+    assert report.partitions_skipped == 3
+    brute = engine.brute_force({0: (1e6, 2e6)})
+    assert brute.shape == (0, 4)
+    assert brute.dtype == dtype
+
+
+def test_post_filter_charges_surviving_candidates():
+    """Post-filter accounting: each non-indexed column charges only the
+    candidates that survive it.  The old per-column pre-narrowing charge
+    inflated rows_checked past total_rows here, pushing
+    ``scan_avoided_fraction`` negative."""
+    n = 200
+    part = np.zeros((n, 8))
+    part[:100, 0] = 0.5  # bin 0 of the index
+    part[100:, 0] = np.linspace(1.5, 9.5, 100)  # spread over bins 1..9
+    part[:, 1] = np.arange(n)
+    engine = RangeQueryEngine(
+        [part], indexed_columns=[0], edges={0: np.linspace(0.0, 10.0, 11)}
+    )
+    ranges = {0: (0.2, 0.8), 1: (0.0, 3.0)}
+    ranges.update({c: (-1.0, 1.0) for c in range(2, 8)})  # 6 match-all cols
+    report = engine.query(ranges)
+    # index candidate check: the 100 rows of bin 0; col 1 keeps 4 of
+    # them; the six match-all columns charge those 4 survivors each
+    assert report.rows_checked == 100 + 4 + 6 * 4
+    assert len(report.rows) == 4
+    assert report.rows_checked <= report.total_rows
+    assert 0.0 <= report.scan_avoided_fraction <= 1.0
+    np.testing.assert_array_equal(report.rows, engine.brute_force(ranges))
+
+
+# --------------------------------------- differential property testing
+@settings(max_examples=60, deadline=None)
+@given(data=st.data())
+def test_query_brute_force_differential(data):
+    """query == brute_force over generated partitions and ranges,
+    covering empty partitions, single-bin/constant-value edges and
+    all-pruned queries — plus the work-accounting invariants."""
+    ncols = data.draw(st.integers(min_value=2, max_value=4), label="ncols")
+    nparts = data.draw(st.integers(min_value=1, max_value=4), label="nparts")
+    seed = data.draw(st.integers(min_value=0, max_value=10_000), label="seed")
+    constant = data.draw(st.booleans(), label="constant-values")
+    rng = np.random.default_rng(seed)
+    parts = []
+    for _ in range(nparts):
+        rows = data.draw(st.integers(min_value=0, max_value=40), label="rows")
+        if rows == 0:
+            parts.append(np.empty((0, ncols)))
+        elif constant:
+            parts.append(np.full((rows, ncols), 3.25))
+        else:
+            parts.append(rng.normal(size=(rows, ncols)))
+    if not any(len(p) for p in parts):
+        parts.append(rng.normal(size=(5, ncols)))
+    bins = data.draw(st.integers(min_value=1, max_value=8), label="bins")
+    engine = RangeQueryEngine(parts, indexed_columns=[0], bins=bins)
+    pruned = data.draw(st.booleans(), label="all-pruned")
+    if pruned:
+        lo = 50.0  # far outside every generated value
+    else:
+        lo = data.draw(
+            st.floats(min_value=-4.0, max_value=4.0), label="lo"
+        )
+    width = data.draw(st.floats(min_value=0.0, max_value=3.0), label="width")
+    ranges = {0: (lo, lo + width)}
+    if data.draw(st.booleans(), label="post-filter"):
+        ranges[ncols - 1] = (-0.5, 0.5)
+    report = engine.query(ranges)
+    want = engine.brute_force(ranges)
+    assert report.rows.shape == want.shape
+    assert report.rows.dtype == want.dtype
+    if len(want):
+        got = report.rows[np.lexsort(report.rows.T)]
+        np.testing.assert_allclose(got, want[np.lexsort(want.T)])
+    # accounting invariants: work is non-negative, bounded by one pass
+    # over the dataset per range condition, and covers every result row
+    nonempty = sum(1 for p in parts if len(p))
+    assert report.partitions_touched + report.partitions_skipped == nonempty
+    assert 0 <= report.rows_checked <= report.total_rows * len(ranges)
+    assert len(report.rows) <= report.total_rows
+    assert report.bulk_loads == report.partitions_touched
+
+
 @settings(max_examples=30, deadline=None)
 @given(
     seed=st.integers(min_value=0, max_value=1000),
