@@ -1,0 +1,25 @@
+"""Streaming benchmark: the coupled-workflow scenario, guarded.
+
+Every guard is *simulated*-time derived from a seeded run (delivery
+conservation, per-group delivery completeness, notification SLO,
+analysis throughput, the slow consumer's lag bound), so the comparison
+against the committed baseline is exact across hosts — any drift is a
+behavioural regression in the streaming layer, never machine noise.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.stream.bench import bench_stream
+
+pytestmark = pytest.mark.perf
+
+
+def test_streaming_guards_hold(bench_guard):
+    record = bench_guard("stream", bench_stream())
+    run = record["run"]
+    assert run["violations"] == []
+    assert run["published"] == record["params"]["nsteps"]
+    for group in run["groups"].values():
+        assert group["consumed"] > 0

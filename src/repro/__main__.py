@@ -26,6 +26,10 @@ Commands map to the experiment harness:
   point/range/aggregation queries with result caching, Hilbert-sharded
   index ownership and credit/CoDel admission; writes
   ``BENCH_query.json`` (see ``python -m repro serve --help``)
+- ``stream``         — pub/sub step streaming: the coupled-workflow
+  scenario (in-transit analysis + mid-run follower + slow consumer
+  under credit backpressure) over DataSpaces continuous queries;
+  writes ``BENCH_stream.json`` (see ``python -m repro stream --help``)
 
 ``fig7``, ``headline`` and ``chaos`` accept ``--trace [PATH]`` to dump
 a Chrome ``trace_event`` file (viewable in https://ui.perfetto.dev), a
@@ -66,11 +70,16 @@ def main(argv=None) -> int:
         from repro.serve.cli import main as serve_main
 
         return serve_main(argv[1:])
+    if argv and argv[0] == "stream":
+        # the streaming CLI owns its own argument set
+        from repro.stream.cli import main as stream_main
+
+        return stream_main(argv[1:])
     parser.add_argument(
         "command",
         choices=["run-all", "fig7", "fig8", "fig9", "fig10", "fig11",
                  "headline", "utilization", "chaos", "check", "perf",
-                 "jobs", "serve"],
+                 "jobs", "serve", "stream"],
         help="experiment to run",
     )
     parser.add_argument("--fast", action="store_true",

@@ -18,7 +18,10 @@ is a one-line change, exactly as §IV.A describes.
   staging hard to overlap, §V.C);
 - :mod:`repro.apps.diagnostics` — Pixie3D's derived quantities
   (energy, flux, divergence, maximum velocity) as plain functions and
-  as a PreDatA operator.
+  as a PreDatA operator;
+- :mod:`repro.apps.readers` — coupled-workflow *streaming* readers
+  (Catalyst-style in-transit analysis, a mid-run particle-tracking
+  follower) consumed through :mod:`repro.stream`.
 """
 
 from repro.apps.gtc import GTCApplication, GTCConfig, GTC_GROUP, gtc_particles
@@ -35,13 +38,16 @@ from repro.apps.diagnostics import (
     magnetic_flux,
     max_velocity,
 )
+from repro.apps.readers import InTransitAnalysisReader, ParticleTrackingFollower
 
 __all__ = [
     "DiagnosticsOperator",
     "GTCApplication",
     "GTCConfig",
     "GTC_GROUP",
+    "InTransitAnalysisReader",
     "PIXIE3D_VARS",
+    "ParticleTrackingFollower",
     "Pixie3DApplication",
     "Pixie3DConfig",
     "divergence",

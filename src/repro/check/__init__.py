@@ -26,6 +26,7 @@ from repro.check.fuzzer import (
 )
 from repro.check.invariants import Checker, InvariantViolation
 from repro.check.oracle import OracleResult, check_workload, run_differential
+from repro.check.stream import StreamChecker
 from repro.check.tenancy import MultiTenantChecker
 from repro.check.trace import ScheduleTrace, minimized_trace_diff
 from repro.check.workloads import (
@@ -45,6 +46,7 @@ __all__ = [
     "OracleResult",
     "ScheduleFuzzer",
     "ScheduleTrace",
+    "StreamChecker",
     "WorkloadRun",
     "check_workload",
     "digest_value",

@@ -1,0 +1,118 @@
+"""Stream conservation invariants (the pub/sub pillar).
+
+Per (subscription, member) the :class:`StreamChecker` keeps four
+ledgers — entitled, sent, delivered (first arrivals), deduped
+(redundant arrivals) — plus the consumption log, and verifies at
+drain:
+
+- **wire conservation**: every send is accounted once,
+  ``sent == delivered + deduped``;
+- **exactly-once**: the delivered steps equal the entitled steps as
+  sets with no step delivered twice — at-least-once transport plus
+  client dedup yields exactly-once observation;
+- **completion & order**: every delivered step is consumed, in
+  entitlement order.
+
+The checker is a passive recorder: hook methods only append to plain
+lists/dicts, so binding one to a stream cannot perturb the schedule.
+"""
+
+from __future__ import annotations
+
+from repro.check.invariants import InvariantViolation
+
+__all__ = ["StreamChecker"]
+
+Key = tuple[int, int]  # (subscription id, member)
+
+
+class StreamChecker:
+    """Conservation ledgers of one step stream."""
+
+    def __init__(self):
+        #: publish log, (var, step) in publish order
+        self.published: list[tuple[str, int]] = []
+        #: subscription id -> member count
+        self.members: dict[int, int] = {}
+        self.entitled: dict[Key, list[int]] = {}
+        self.sent: dict[Key, int] = {}
+        self.delivered: dict[Key, list[int]] = {}
+        self.deduped: dict[Key, int] = {}
+        self.consumed: dict[Key, list[int]] = {}
+
+    # -- hooks (called by the stream) ---------------------------------------
+    def on_published(self, var: str, step: int) -> None:
+        """Record one publish of ``(var, step)``."""
+        self.published.append((var, step))
+
+    def on_subscribed(self, sub: int, nmembers: int, t: float) -> None:
+        """Open the ledgers of subscription *sub* (*nmembers* readers)."""
+        self.members[sub] = nmembers
+        for m in range(nmembers):
+            self.entitled.setdefault((sub, m), [])
+
+    def on_entitled(self, sub: int, member: int, step: int) -> None:
+        """Record that *member* became owed *step* (fed post-subscribe)."""
+        self.entitled.setdefault((sub, member), []).append(step)
+
+    def on_sent(self, sub: int, member: int, step: int) -> None:
+        """Count one wire send (first transmission or redelivery)."""
+        self.sent[(sub, member)] = self.sent.get((sub, member), 0) + 1
+
+    def on_delivered(self, sub: int, member: int, step: int) -> None:
+        """Record the first arrival of *step* at *member*."""
+        self.delivered.setdefault((sub, member), []).append(step)
+
+    def on_deduped(self, sub: int, member: int, step: int) -> None:
+        """Count one redundant arrival absorbed by client dedup."""
+        self.deduped[(sub, member)] = self.deduped.get((sub, member), 0) + 1
+
+    def on_consumed(self, sub: int, member: int, step: int) -> None:
+        """Record that *member* finished processing (acked) *step*."""
+        self.consumed.setdefault((sub, member), []).append(step)
+
+    # -- verification -------------------------------------------------------
+    def violations(self) -> list[str]:
+        """All conservation violations observed so far (empty = clean)."""
+        out: list[str] = []
+        keys = sorted(
+            set(self.entitled)
+            | set(self.delivered)
+            | set(self.consumed)
+            | set(self.sent)
+        )
+        for key in keys:
+            sub, member = key
+            tag = f"sub{sub}.m{member}"
+            ent = self.entitled.get(key, [])
+            dlv = self.delivered.get(key, [])
+            dup = self.deduped.get(key, 0)
+            snt = self.sent.get(key, 0)
+            con = self.consumed.get(key, [])
+            if snt != len(dlv) + dup:
+                out.append(
+                    f"{tag}: wire leak — sent {snt} != delivered "
+                    f"{len(dlv)} + deduped {dup}"
+                )
+            if len(dlv) != len(set(dlv)):
+                out.append(f"{tag}: step delivered twice (dedup escaped)")
+            missing = sorted(set(ent) - set(dlv))
+            extra = sorted(set(dlv) - set(ent))
+            if missing:
+                out.append(f"{tag}: entitled steps never delivered: {missing}")
+            if extra:
+                out.append(f"{tag}: delivered without entitlement: {extra}")
+            if con != dlv:
+                out.append(
+                    f"{tag}: consumption mismatch — delivered {dlv}, "
+                    f"consumed {con}"
+                )
+        return out
+
+    def verify(self) -> None:
+        """Raise :class:`InvariantViolation` on any dirty ledger."""
+        problems = self.violations()
+        if problems:
+            raise InvariantViolation(
+                "stream conservation violated:\n" + "\n".join(problems)
+            )

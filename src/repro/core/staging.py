@@ -116,6 +116,8 @@ class StagingService:
         self._procs: list = []
         #: callbacks fired as each staging rank finishes a step
         self._step_listeners: list = []
+        #: callbacks fired as each staging rank *commits* a step
+        self._commit_listeners: list = []
         # -- resilience state ------------------------------------------
         #: next uncommitted step per staging rank (recovery restart point)
         self._rank_step: dict[int, int] = {}
@@ -132,6 +134,14 @@ class StagingService:
         """Register ``callback(step, rank)`` fired per rank completion
         (the hook online monitors subscribe to)."""
         self._step_listeners.append(callback)
+
+    def add_commit_listener(self, callback) -> None:
+        """Register ``callback(step, rank)`` fired as each rank commits
+        a step — after the commit barrier under resilience, at step
+        completion otherwise.  Callbacks run synchronously and must not
+        touch the engine (the step-stream bridge relies on this to keep
+        schedule traces byte-identical)."""
+        self._commit_listeners.append(callback)
 
     # -- lifecycle --------------------------------------------------------
     def start(self) -> None:
@@ -633,6 +643,12 @@ class StagingService:
             listener(step, comm.rank)
         if resilience is not None:
             yield from self._commit_step(comm, step, received)
+        else:
+            # without the recovery protocol, step completion is the
+            # commit point: the outputs are durable the moment the
+            # rank's finalize returns
+            for listener in self._commit_listeners:
+                listener(step, comm.rank)
 
     # -- recovery protocol pieces -------------------------------------------
     def _commit_step(
@@ -655,6 +671,8 @@ class StagingService:
             )
         self._rank_step[comm.rank] = step + 1
         self._inflight.pop(comm.rank, None)
+        for listener in self._commit_listeners:
+            listener(step, comm.rank)
 
     def _fetch_with_retry(self, req: FetchRequest, step: int, comm: Communicator):
         """One chunk fetch under timeout + exponential-backoff retry.

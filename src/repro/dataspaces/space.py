@@ -259,9 +259,13 @@ class DataSpaces:
         self._versions: dict[str, int] = {}
         self._writers: dict[str, int] = {}
         self._write_clear: dict[str, Event] = {}
-        self._continuous: list[_ContinuousQuery] = []
+        self._continuous: dict[int, _ContinuousQuery] = {}
+        self._next_subscription_id = 0
         self._client_setup_done: set[int] = set()
         self.bytes_stored = 0.0
+        #: incrementally maintained stored bytes per server (kept in
+        #: lockstep with ``_storage`` by ``put``)
+        self._server_bytes: list[float] = [0.0] * len(self.server_nodes)
 
     # -- declaration -----------------------------------------------------
     def declare(self, name: str, dims: tuple[int, ...]) -> None:
@@ -279,6 +283,12 @@ class DataSpaces:
         if name not in self._indexes:
             raise KeyError(f"domain {name!r} not declared")
         return self._indexes[name]
+
+    def version(self, name: str) -> int:
+        """Current committed version of the declared domain *name*."""
+        if name not in self._versions:
+            raise KeyError(f"domain {name!r} not declared")
+        return self._versions[name]
 
     # -- coherency helpers ----------------------------------------------------
     def _begin_write(self, name: str) -> None:
@@ -360,11 +370,13 @@ class DataSpaces:
             for server, pieces, nbytes in staged:
                 self._storage[server].setdefault(name, []).extend(pieces)
                 self.bytes_stored += nbytes
+                self._server_bytes[server] += nbytes
             self._versions[name] = version
         finally:
             self._end_write(name)
-        # notifications for continuous queries
-        for cq in self._continuous:
+        # notifications for continuous queries (snapshot: a callback may
+        # register or unregister without disturbing this round)
+        for cq in list(self._continuous.values()):
             if cq.name == name and cq.region.intersect(region) is not None:
                 yield from self.machine.network.transfer(
                     self.server_nodes[0], cq.client_node, 64.0
@@ -537,21 +549,32 @@ class DataSpaces:
         region: Region,
         client_node: int,
         callback: Callable[[Region, int], None],
-    ) -> None:
-        """Notify *callback* whenever a put intersects *region*."""
+    ) -> int:
+        """Notify *callback* whenever a put intersects *region*.
+
+        Returns a durable subscription id accepted by
+        :meth:`unregister_continuous`.
+        """
         self.index(name)  # validates declaration
-        self._continuous.append(
-            _ContinuousQuery(name, region, client_node, callback)
-        )
+        sid = self._next_subscription_id
+        self._next_subscription_id += 1
+        self._continuous[sid] = _ContinuousQuery(name, region, client_node, callback)
+        return sid
+
+    def unregister_continuous(self, subscription_id: int) -> None:
+        """Drop the continuous query *subscription_id*; its callback
+        never fires again (a departed reader stops costing puts)."""
+        if self._continuous.pop(subscription_id, None) is None:
+            raise KeyError(f"unknown subscription id {subscription_id}")
 
     # -- load balancing ------------------------------------------------------------------
     def server_load(self) -> list[float]:
-        """Stored bytes per server (level-1 balance view)."""
-        loads = [0.0] * len(self.server_nodes)
-        for server, by_name in self._storage.items():
-            for pieces in by_name.values():
-                loads[server] += sum(p.data.nbytes for p in pieces)
-        return loads
+        """Stored bytes per server (level-1 balance view).
+
+        O(nservers): the totals are maintained incrementally by
+        :meth:`put` instead of re-walking every stored piece.
+        """
+        return list(self._server_bytes)
 
     def rebalance(self, name: str) -> int:
         """Redistribute index metadata of *name* by observed load."""

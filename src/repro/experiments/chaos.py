@@ -150,6 +150,7 @@ def run_once(
     tie_breaker=None,
     schedule_trace=None,
     check=None,
+    stream_bridge=None,
 ) -> ChaosRun:
     """One complete chaos scenario; returns metrics + readable files.
 
@@ -177,6 +178,12 @@ def run_once(
     ``tie_breaker``/``schedule_trace``/``check`` are the verification
     subsystem's engine hooks (see :mod:`repro.check`); all default off
     and leave the run byte-identical.
+
+    ``stream_bridge`` attaches a :class:`repro.stream.StreamBridge` to
+    the staging service's commit hook — a pure synchronous recorder,
+    so the run stays byte-identical (fingerprint *and* schedule hash)
+    with streaming enabled; the recorded steps are replayed into a
+    live stream as a separate post-pass.
     """
     eng = Engine(tie_breaker=tie_breaker)
     if schedule_trace is not None:
@@ -216,6 +223,8 @@ def run_once(
         fallback_io=fallback,
         flow=flow_cfg,
     )
+    if stream_bridge is not None:
+        stream_bridge.attach(predata.service)
     crash_t = kill_step * io_interval + kill_offset
     injector = None
     killed = -1

@@ -291,11 +291,20 @@ def _bench_query() -> dict:
     return bench_query()
 
 
+def _bench_stream() -> dict:
+    # lazy for the same reason: repro.stream pulls in the machine and
+    # dataspaces layers
+    from repro.stream.bench import bench_stream
+
+    return bench_stream()
+
+
 _BENCHES: dict[str, Callable[..., dict]] = {
     "kernels": bench_kernels,
     "ffs": bench_ffs,
     "engine": bench_engine,
     "query": _bench_query,
+    "stream": _bench_stream,
 }
 
 

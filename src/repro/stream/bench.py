@@ -1,0 +1,81 @@
+"""Streaming benchmark: the ``BENCH_stream.json`` record.
+
+Runs the seeded coupled-workflow scenario and guards the streaming
+subsystem's behavioural envelope.  Every number is *simulated* time
+from a seeded run, so the record is bit-identical across hosts and
+the tolerance protects purely against behavioural regressions.
+
+Guards (all "bigger is better" ratios in [0, 1]):
+
+- ``conservation`` — 1.0 iff the stream conservation check is clean
+  (published == delivered + deduped per subscriber, exactly-once);
+- ``delivered:<group>`` — delivered / entitled per consumer group;
+- ``notify_slo`` — fraction of the *analysis* group's latency marks
+  (p50/p99 per run) within :data:`NOTIFY_SLO_SECONDS` of publish —
+  the unthrottled group, so the guard measures wire responsiveness,
+  not intentional backpressure stalls;
+- ``throughput:analysis`` — the analysis group's per-member step rate
+  relative to the producer's (1.0 = keeps up);
+- ``lag_bound:slow`` — 1.0 iff the slow consumer's worst lag stayed
+  within its credit budget (+1 idle-bank step), degrading as the
+  ratio of bound to observed lag otherwise.
+"""
+
+from __future__ import annotations
+
+from repro.stream.scenario import run_stream
+
+__all__ = ["BENCH_PARAMS", "NOTIFY_SLO_SECONDS", "bench_stream"]
+
+#: generous against the tiny-machine wire model (a watermark is one
+#: 64-byte message), tight against scheduling pathologies
+NOTIFY_SLO_SECONDS = 0.05
+
+#: the committed baseline's scenario shape: a 2x-rate producer over
+#: the slow group, a mid-run follower join, and lossy-ack redelivery
+BENCH_PARAMS = dict(
+    nsteps=10,
+    grid=48,
+    producers=4,
+    analysis_members=3,
+    slow_members=1,
+    follower_join_frac=0.45,
+    step_period=0.4,
+    slow_process_factor=2.0,
+    credit_steps=2,
+    redeliver_rate=0.15,
+)
+
+
+def bench_stream(seed: int = 20260808, **overrides) -> dict:
+    """Run the scenario once; returns the ``BENCH_stream`` record."""
+    params = {**BENCH_PARAMS, **overrides}
+    run = run_stream(seed=seed, **params)
+    guards: dict[str, float] = {
+        "conservation": 1.0 if not run.violations else 0.0,
+    }
+    for name, g in run.groups.items():
+        guards[f"delivered:{name}"] = (
+            g.delivered / g.entitled if g.entitled else 0.0
+        )
+    analysis = run.groups["analysis"]
+    lats = [analysis.notify_p50, analysis.notify_p99]
+    guards["notify_slo"] = sum(
+        1 for v in lats if v <= NOTIFY_SLO_SECONDS
+    ) / len(lats)
+    guards["throughput:analysis"] = min(
+        1.0, analysis.throughput * params["step_period"]
+    )
+    slow = run.groups["slow"]
+    bound = params["credit_steps"] + 1
+    guards["lag_bound:slow"] = (
+        1.0 if slow.max_lag <= bound else bound / slow.max_lag
+    )
+    return {
+        "bench": "stream",
+        "seed": seed,
+        "params": params,
+        "notify_slo_seconds": NOTIFY_SLO_SECONDS,
+        "run": run.to_dict(),
+        "guards": guards,
+    }

@@ -1,0 +1,124 @@
+"""``python -m repro stream`` — the coupled-workflow streaming scenario.
+
+Runs the seeded producer + three-reader scenario, prints the per-group
+delivery table, writes the ``BENCH_stream.json`` sidecar, and (with
+``--baseline``) guards the run against the committed baseline via the
+perf-regression harness.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+from typing import Optional
+
+from repro.experiments.report import format_table
+from repro.perf.bench import compare, default_baseline_dir, write_record
+from repro.stream.bench import BENCH_PARAMS, bench_stream
+
+__all__ = ["main"]
+
+
+def main(argv: Optional[list] = None) -> int:
+    """Run the streaming scenario CLI; returns a process exit code."""
+    ap = argparse.ArgumentParser(
+        prog="repro stream",
+        description="pub/sub step streaming: coupled-workflow scenario",
+    )
+    ap.add_argument(
+        "--steps", type=int, default=BENCH_PARAMS["nsteps"],
+        help="producer steps to publish",
+    )
+    ap.add_argument(
+        "--consumers", type=int, default=BENCH_PARAMS["analysis_members"],
+        help="members of the in-transit analysis group",
+    )
+    ap.add_argument(
+        "--period", type=float, default=BENCH_PARAMS["step_period"],
+        help="producer step period (sim seconds)",
+    )
+    ap.add_argument(
+        "--credit-steps", type=int, default=BENCH_PARAMS["credit_steps"],
+        help="slow consumer's credit budget in steps",
+    )
+    ap.add_argument(
+        "--redeliver", type=float, default=BENCH_PARAMS["redeliver_rate"],
+        help="seeded lost-ack redelivery probability",
+    )
+    ap.add_argument("--seed", type=int, default=20260808)
+    ap.add_argument(
+        "--out", type=Path, default=Path("."),
+        help="directory for the BENCH_stream.json sidecar",
+    )
+    ap.add_argument(
+        "--baseline", type=Path, default=None,
+        help="baseline dir to guard against ('default' for the "
+        "committed benchmarks/perf/baselines)",
+    )
+    ap.add_argument(
+        "--tolerance", type=float, default=0.2,
+        help="allowed fractional guard regression (default 0.2)",
+    )
+    args = ap.parse_args(argv)
+
+    record = bench_stream(
+        seed=args.seed,
+        nsteps=args.steps,
+        analysis_members=args.consumers,
+        step_period=args.period,
+        credit_steps=args.credit_steps,
+        redeliver_rate=args.redeliver,
+    )
+    run = record["run"]
+    rows = [
+        [
+            g["name"],
+            g["members"],
+            g["first_step"] if g["first_step"] is not None else "-",
+            g["entitled"],
+            g["delivered"],
+            g["deduped"],
+            g["consumed"],
+            g["max_lag"],
+            f"{g['throughput']:.2f}",
+            f"{g['notify_p99'] * 1e3:.3f}",
+        ]
+        for g in run["groups"].values()
+    ]
+    print(
+        format_table(
+            ["group", "members", "first step", "entitled", "delivered",
+             "deduped", "consumed", "max lag", "steps/s", "p99 ms"],
+            rows,
+            title=f"step streaming ({run['published']} steps published, "
+            f"seed {args.seed})",
+        )
+    )
+    if run["violations"]:
+        for v in run["violations"]:
+            print(f"[stream] CONSERVATION VIOLATION {v}")
+    else:
+        print("[stream] conservation check clean "
+              "(sent == delivered + deduped, exactly-once)")
+    path = write_record("stream", record, args.out)
+    print(f"[stream] wrote {path}")
+    if args.baseline is not None:
+        base_dir = (
+            default_baseline_dir()
+            if str(args.baseline) == "default"
+            else args.baseline
+        )
+        base_path = base_dir / "BENCH_stream.json"
+        if not base_path.exists():
+            print(f"[stream] no baseline at {base_path}; skipping guard")
+            return 0
+        problems = compare(
+            record, json.loads(base_path.read_text()), args.tolerance
+        )
+        for p in problems:
+            print(f"[stream] REGRESSION {p}")
+        if problems:
+            return 1
+        print("[stream] all guards clean")
+    return 1 if run["violations"] else 0

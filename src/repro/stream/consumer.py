@@ -1,0 +1,167 @@
+"""Consumer groups: N reader ranks sharing one subscription.
+
+The subscribed region is partitioned by SFC block owner
+(:mod:`repro.stream.partition`), so each member fetches a disjoint,
+locality-compact share of every step via ``DataSpaces.get`` and the
+group jointly covers the region exactly once per step.  Members ack
+each step after processing, which returns their flow credits to the
+notifier — the backpressure loop bounding a slow member's lag.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.dataspaces.space import Region
+from repro.sim.engine import Engine
+from repro.stream.partition import member_pieces
+from repro.stream.publisher import StepStream
+from repro.stream.subscription import CLOSE, Subscription
+
+__all__ = ["ConsumerGroup"]
+
+
+class ConsumerGroup:
+    """A coupled reader application consuming one step stream.
+
+    ``reader_factory(member) -> reader`` builds the per-member reader
+    app; a reader exposes ``on_step(watermark, pieces)`` with
+    ``pieces`` a list of ``(Region, ndarray)`` covering the member's
+    partition.  ``process_seconds`` charges per-step processing time
+    (a value above the producer period makes the group a *slow*
+    consumer, exercising backpressure).
+    """
+
+    def __init__(
+        self,
+        env: Engine,
+        stream: StepStream,
+        var: str,
+        region: Region,
+        member_nodes,
+        *,
+        reader_factory: Optional[Callable[[int], object]] = None,
+        process_seconds: float = 0.0,
+        credit_bytes: Optional[float] = None,
+        catchup: str = "latest",
+        name: str = "group",
+    ):
+        if process_seconds < 0:
+            raise ValueError("process_seconds must be non-negative")
+        self.env = env
+        self.stream = stream
+        self.var = var
+        self.region = region
+        self.member_nodes = tuple(member_nodes)
+        self.reader_factory = reader_factory
+        self.process_seconds = process_seconds
+        self.credit_bytes = credit_bytes
+        self.catchup = catchup
+        self.name = name
+        self.readers: list = []
+        self.sub: Optional[Subscription] = None
+        self.procs: list = []
+        self.started_at: Optional[float] = None
+        #: per-member sim time of CLOSE (None while still consuming)
+        self.finished: list = []
+
+    @property
+    def nmembers(self) -> int:
+        return len(self.member_nodes)
+
+    # -- lifecycle ----------------------------------------------------------
+    def start(self) -> Subscription:
+        """Subscribe and spawn one consumer process per member."""
+        if self.sub is not None:
+            raise RuntimeError(f"group {self.name!r} already started")
+        self.sub = self.stream.subscribe(
+            self.var, self.region, self.member_nodes,
+            catchup=self.catchup, credit_bytes=self.credit_bytes,
+        )
+        self.started_at = self.env.now
+        self.readers = [
+            self.reader_factory(m) if self.reader_factory is not None else None
+            for m in range(self.nmembers)
+        ]
+        self.finished = [None] * self.nmembers
+        self.procs = [
+            self.env.process(
+                self._member(m), name=f"stream-consume-{self.name}.{m}"
+            )
+            for m in range(self.nmembers)
+        ]
+        return self.sub
+
+    def leave(self) -> None:
+        """Depart mid-run: unsubscribe; members drain entitled steps,
+        then stop — later publishes never reach this group."""
+        if self.sub is None:
+            raise RuntimeError(f"group {self.name!r} never started")
+        self.stream.unsubscribe(self.sub.id)
+
+    def _member(self, m: int):
+        env = self.env
+        ds = self.stream.ds
+        sub = self.sub
+        st = sub.stats[m]
+        node = sub.member_nodes[m]
+        reader = self.readers[m]
+        while True:
+            item = yield sub.queues[m].get()
+            if item is CLOSE:
+                break
+            wm = item
+            cut = wm.region.intersect(sub.region)
+            pieces = []
+            for pr in member_pieces(ds.index(self.var), cut, sub.nmembers, m):
+                data = yield from ds.get(node, self.var, pr)
+                st.bytes_fetched += data.nbytes
+                pieces.append((pr, data))
+            if self.process_seconds > 0:
+                yield env.timeout(self.process_seconds)
+            if reader is not None:
+                reader.on_step(wm, pieces)
+            self.stream.ack(sub, m, wm)
+        self.finished[m] = env.now
+
+    # -- stats --------------------------------------------------------------
+    @property
+    def consumed(self) -> int:
+        """Steps consumed, summed over members."""
+        return sum(st.consumed for st in self.sub.stats)
+
+    @property
+    def delivered(self) -> int:
+        return sum(st.delivered for st in self.sub.stats)
+
+    @property
+    def deduped(self) -> int:
+        return sum(st.deduped for st in self.sub.stats)
+
+    @property
+    def sent(self) -> int:
+        return sum(st.sent for st in self.sub.stats)
+
+    @property
+    def max_lag(self) -> int:
+        """Worst delivered-unconsumed lag any member reached."""
+        return self.sub.max_lag
+
+    @property
+    def bytes_fetched(self) -> float:
+        return sum(st.bytes_fetched for st in self.sub.stats)
+
+    def duration(self) -> float:
+        """Sim seconds from subscribe to the last member's CLOSE."""
+        if self.started_at is None:
+            return 0.0
+        ends = [t for t in self.finished if t is not None]
+        end = max(ends) if len(ends) == self.nmembers else self.env.now
+        return max(0.0, end - self.started_at)
+
+    def throughput(self) -> float:
+        """Consumed steps per member per sim second."""
+        dur = self.duration()
+        if dur <= 0 or self.sub is None:
+            return 0.0
+        return self.consumed / self.nmembers / dur

@@ -280,3 +280,73 @@ def test_3d_domain_uses_morton():
 
     out = run(eng, main())
     np.testing.assert_array_equal(out, vol[4:12, 4:12, 4:12])
+
+
+def test_register_continuous_returns_durable_ids():
+    _, _, ds = build_ds()
+    r = Region((0, 0), (8, 8))
+    a = ds.register_continuous("field", r, client_node=7, callback=lambda *_: None)
+    b = ds.register_continuous("field", r, client_node=7, callback=lambda *_: None)
+    assert isinstance(a, int) and isinstance(b, int)
+    assert a != b
+    # ids stay durable: dropping one leaves the other addressable
+    ds.unregister_continuous(a)
+    ds.unregister_continuous(b)
+
+
+def test_unregister_continuous_stops_callbacks():
+    eng, _, ds = build_ds()
+    notified = []
+
+    def main():
+        sid = ds.register_continuous(
+            "field",
+            Region((0, 0), (8, 8)),
+            client_node=7,
+            callback=lambda region, version: notified.append((region, version)),
+        )
+        yield from ds.put(0, "field", Region((0, 0), (8, 8)), np.ones((8, 8)))
+        ds.unregister_continuous(sid)
+        yield from ds.put(0, "field", Region((0, 0), (8, 8)), np.ones((8, 8)))
+
+    run(eng, main())
+    # the departed reader's callback never fires after unregister, and
+    # the registry does not leak the dead entry
+    assert len(notified) == 1
+    assert ds._continuous == {}
+
+
+def test_unregister_continuous_unknown_id():
+    _, _, ds = build_ds()
+    with pytest.raises(KeyError):
+        ds.unregister_continuous(42)
+    sid = ds.register_continuous(
+        "field", Region((0, 0), (4, 4)), client_node=0, callback=lambda *_: None
+    )
+    ds.unregister_continuous(sid)
+    with pytest.raises(KeyError):
+        ds.unregister_continuous(sid)  # already gone
+
+
+def test_server_load_matches_brute_force_recount():
+    # the incremental per-server totals must equal a full walk of the
+    # stored pieces after a mix of disjoint and overlapping puts
+    eng, _, ds = build_ds(nservers=4)
+
+    def main():
+        yield from ds.put(0, "field", Region((0, 0), (64, 64)),
+                          np.ones((64, 64)))
+        yield from ds.put(1, "field", Region((8, 8), (24, 40)),
+                          np.full((16, 32), 2.0))
+        yield from ds.put(2, "field", Region((50, 2), (64, 10)),
+                          np.zeros((14, 8)))
+
+    run(eng, main())
+    loads = ds.server_load()
+    brute = [0.0] * len(ds.server_nodes)
+    for server, by_name in ds._storage.items():
+        for pieces in by_name.values():
+            for piece in pieces:
+                brute[server] += piece.data.nbytes
+    assert loads == pytest.approx(brute)
+    assert sum(loads) > 0

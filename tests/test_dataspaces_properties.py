@@ -1,0 +1,126 @@
+"""Property-based tests for DataSpaces geometry and SFC primitives."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dataspaces import (
+    Region,
+    hilbert_xy2d,
+    morton_encode,
+)
+
+
+def regions(max_extent=32, ndim=2):
+    """Strategy: a non-empty *ndim*-D region within [0, max_extent)."""
+
+    @st.composite
+    def build(draw):
+        lb, ub = [], []
+        for _ in range(ndim):
+            lo = draw(st.integers(min_value=0, max_value=max_extent - 1))
+            hi = draw(st.integers(min_value=lo + 1, max_value=max_extent))
+            lb.append(lo)
+            ub.append(hi)
+        return Region(tuple(lb), tuple(ub))
+
+    return build()
+
+
+def subregion_of(outer):
+    """Strategy: a non-empty region contained in *outer*."""
+
+    @st.composite
+    def build(draw):
+        lb, ub = [], []
+        for lo, hi in zip(outer.lb, outer.ub):
+            a = draw(st.integers(min_value=lo, max_value=hi - 1))
+            b = draw(st.integers(min_value=a + 1, max_value=hi))
+            lb.append(a)
+            ub.append(b)
+        return Region(tuple(lb), tuple(ub))
+
+    return build()
+
+
+# ------------------------------------------------------------ regions
+@settings(max_examples=200, deadline=None)
+@given(data=st.data())
+def test_intersect_of_contained_region_is_identity(data):
+    outer = data.draw(regions())
+    inner = data.draw(subregion_of(outer))
+    assert inner.intersect(outer) == inner
+    assert outer.intersect(inner) == inner
+
+
+@settings(max_examples=200, deadline=None)
+@given(a=regions(), b=regions())
+def test_intersect_commutes_and_is_contained(a, b):
+    ab = a.intersect(b)
+    assert ab == b.intersect(a)
+    if ab is not None:
+        assert ab.intersect(a) == ab
+        assert ab.intersect(b) == ab
+        assert ab.cells <= min(a.cells, b.cells)
+    else:
+        # disjoint on at least one axis
+        assert any(
+            hi <= lo
+            for lo, hi in zip(
+                (max(x, y) for x, y in zip(a.lb, b.lb)),
+                (min(x, y) for x, y in zip(a.ub, b.ub)),
+            )
+        )
+
+
+@settings(max_examples=200, deadline=None)
+@given(data=st.data())
+def test_slice_within_roundtrips_cell_values(data):
+    # writing a region's cells into an array covering the outer domain
+    # and slicing it back selects exactly the inner region's cells
+    outer = data.draw(regions())
+    inner = data.draw(subregion_of(outer))
+    canvas = np.zeros(outer.shape)
+    marks = np.arange(inner.cells, dtype=float).reshape(inner.shape) + 1.0
+    canvas[inner.slice_within(outer)] = marks
+    got = canvas[inner.slice_within(outer)]
+    assert got.shape == inner.shape
+    np.testing.assert_array_equal(got, marks)
+    # nothing outside the inner region was touched
+    assert canvas.sum() == marks.sum()
+
+
+# ---------------------------------------------------------------- SFC
+@settings(max_examples=200, deadline=None)
+@given(order=st.integers(min_value=1, max_value=6), data=st.data())
+def test_hilbert_injective_on_distinct_points(order, data):
+    n = 1 << order
+    coords = st.tuples(
+        st.integers(min_value=0, max_value=n - 1),
+        st.integers(min_value=0, max_value=n - 1),
+    )
+    p = data.draw(coords)
+    q = data.draw(coords)
+    dp = hilbert_xy2d(order, *p)
+    dq = hilbert_xy2d(order, *q)
+    assert (dp == dq) == (p == q)
+    assert 0 <= dp < n * n
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    ndim=st.integers(min_value=1, max_value=4),
+    nbits=st.integers(min_value=1, max_value=6),
+    data=st.data(),
+)
+def test_morton_injective_on_distinct_points(ndim, nbits, data):
+    n = 1 << nbits
+    coords = st.tuples(
+        *([st.integers(min_value=0, max_value=n - 1)] * ndim)
+    )
+    p = data.draw(coords)
+    q = data.draw(coords)
+    mp = morton_encode(p, nbits=nbits)
+    mq = morton_encode(q, nbits=nbits)
+    assert (mp == mq) == (p == q)
+    assert 0 <= mp < n**ndim

@@ -206,3 +206,123 @@ def test_invariants_hold_across_the_matrix(matrix):
         assert broken == [], f"combo {combo}: {broken}"
         if combo[2]:
             assert chk.perturbed, f"combo {combo}: no fault recorded"
+
+
+def _run_with_stream_bridge():
+    """The traced no-fault combo with a StreamBridge attached."""
+    from repro.stream import StreamBridge
+
+    bridge = StreamBridge()
+    sinks = dict(
+        obs=Observability(label="matrix"),
+        schedule_trace=ScheduleTrace(),
+        check=Checker(),
+    )
+    with REGISTRY.use("vectorized"):
+        run = run_once(inject=False, stream_bridge=bridge, **sinks)
+    return fingerprint(run), run, sinks, bridge
+
+
+@pytest.fixture(scope="module")
+def bridged():
+    return _run_with_stream_bridge()
+
+
+def test_stream_bridge_leaves_run_byte_identical(matrix, bridged):
+    """Streaming enabled on the live pipeline must not move the run
+    fingerprint or the executed-schedule hash — the bridge is a pure
+    synchronous recorder."""
+    fp_plain, _, sinks_plain = matrix[(False, True, False, "vectorized")]
+    fp_bridge, _run, sinks_bridge, bridge = bridged
+    assert fp_bridge == fp_plain, "stream bridge changed the run"
+    plain_trace = sinks_plain["schedule_trace"]
+    bridge_trace = sinks_bridge["schedule_trace"]
+    assert bridge_trace.count == plain_trace.count
+    assert bridge_trace.schedule_hash == plain_trace.schedule_hash, (
+        "stream bridge perturbed the executed schedule"
+    )
+    # ...while still observing every committed step of every variable
+    assert sorted((r.var, r.step) for r in bridge.records) == [
+        ("rho", s) for s in range(4)
+    ]
+
+
+def _stream_replay(run, bridge) -> str:
+    """Replay the bridge's recorded commits into a live stream.
+
+    Like :func:`_serve_pass`, this is a separate post-pass with its
+    own engine: the recorded (var, step) commits are re-published over
+    a DataSpaces instance holding the run's recovered arrays, and a
+    consumer group processes every step.  Digests the full delivery
+    log and analysis output so two passes compare byte-for-byte.
+    """
+    import hashlib
+
+    import numpy as np
+
+    from repro.apps.readers import InTransitAnalysisReader
+    from repro.check.stream import StreamChecker
+    from repro.dataspaces import DataSpaces, Region
+    from repro.machine import TESTING_TINY, Machine
+    from repro.sim.engine import Engine
+    from repro.stream import ConsumerGroup, StepStream, StreamConfig
+
+    env = Engine()
+    machine = Machine(env, 4, 2, spec=TESTING_TINY, fs_interference=False)
+    ds = DataSpaces(env, machine, list(machine.staging_node_ids))
+    arrays = {}
+    for rec in bridge.records:
+        arr = None
+        for f in (run.merged, run.fallback_file):
+            if f is None:
+                continue
+            try:
+                arr = f.read_global_array(rec.var, rec.step)
+                break
+            except Exception:
+                continue
+        assert arr is not None, f"step {rec.step} unreadable from any file"
+        arrays[(rec.var, rec.step)] = np.asarray(arr, dtype=np.float64)
+        try:
+            ds.index(rec.var)
+        except KeyError:
+            ds.declare(rec.var, arr.shape)
+
+    checker = StreamChecker()
+    stream = StepStream(env, machine, ds, StreamConfig(seed=3), checker=checker)
+    first = arrays[(bridge.records[0].var, bridge.records[0].step)]
+    domain = Region((0,) * first.ndim, first.shape)
+    edges = np.linspace(0.0, 8192.0, 17)
+    group = ConsumerGroup(
+        env, stream, bridge.records[0].var, domain, [2, 3],
+        reader_factory=lambda m: InTransitAnalysisReader(edges, threshold=2048.0),
+        catchup="none", name="replay",
+    )
+    group.start()
+
+    def publisher():
+        for rec in sorted(bridge.records, key=lambda r: (r.step, r.var)):
+            yield env.timeout(0.1)
+            data = arrays[(rec.var, rec.step)]
+            yield from ds.put(0, rec.var, Region((0,) * data.ndim, data.shape), data)
+            stream.publish(rec.var, rec.step)
+        stream.close()
+
+    env.process(publisher())
+    env.run()
+    assert checker.violations() == []
+    digest = hashlib.sha256()
+    digest.update(repr(stream.manager.events).encode())
+    for r in group.readers:
+        digest.update(np.asarray(r.counts).tobytes())
+        digest.update(repr(list(zip(r.steps, r.occupancy))).encode())
+    return digest.hexdigest()
+
+
+def test_stream_replay_is_additive_and_deterministic(bridged):
+    """Replaying the stream over a finished run must not move its
+    fingerprint, and the replay itself must be deterministic."""
+    fp_before, run, _sinks, bridge = bridged
+    d1 = _stream_replay(run, bridge)
+    assert fingerprint(run) == fp_before
+    assert _stream_replay(run, bridge) == d1
