@@ -14,10 +14,11 @@ Commands map to the experiment harness:
 - ``check``          — verification: schedule fuzzing, pipeline
   invariants, differential operator oracles (``--fuzz N`` etc.; see
   ``python -m repro check --help``)
-- ``perf``           — hot-path micro-benchmarks: kernel variants, FFS
-  packing, event-queue backends; writes ``BENCH_*.json`` sidecars and
-  guards ratio metrics against the committed baseline (see
-  ``python -m repro perf --help``)
+- ``perf``           — hot-path micro-benchmarks: kernel variants
+  (naive/vectorized/parallel), FFS packing, event-queue backends, and
+  the 10k/50k/100k-rank weak-scaling sweep (``--scale``); writes
+  ``BENCH_*.json`` sidecars and guards ratio metrics against the
+  committed baseline (see ``python -m repro perf --help``)
 - ``jobs``           — multi-tenant pipeline service: run N tenants
   concurrently on one shared staging fleet with fair-share carves,
   per-tenant ledgers and solo-vs-contended isolation cross-checks

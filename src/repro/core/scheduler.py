@@ -20,6 +20,7 @@ from __future__ import annotations
 import heapq
 from typing import Generator, Optional
 
+from repro.core.accounting import RankLedger
 from repro.sim.engine import Engine, Event, Process
 
 __all__ = ["MovementScheduler"]
@@ -64,7 +65,9 @@ class MovementScheduler:
         self.enabled = enabled
         self.max_defer = max_defer
         self.batch_wakeups = batch_wakeups
-        self._depth: dict[int, int] = {}
+        #: per-node comm-phase nesting depth, numpy-backed (100k-node
+        #: weak-scaling runs hammer this on every fetch admission)
+        self._depth = RankLedger(dtype="int64")
         self._clear_events: dict[int, Event] = {}
         #: per-node waiter heaps [(deadline, seq, event)] (batched path)
         self._waiters: dict[int, list[tuple[float, int, Event]]] = {}
@@ -82,7 +85,7 @@ class MovementScheduler:
     # -- application side ---------------------------------------------------
     def enter_comm_phase(self, node_id: int) -> None:
         """Mark *node_id* as inside a communication phase."""
-        self._depth[node_id] = self._depth.get(node_id, 0) + 1
+        self._depth.add(node_id, 1)
 
     def exit_comm_phase(self, node_id: int) -> None:
         """Mark the end of a communication phase on *node_id*."""
@@ -90,7 +93,7 @@ class MovementScheduler:
         if depth <= 0:
             raise RuntimeError(f"exit_comm_phase without enter on node {node_id}")
         depth -= 1
-        self._depth[node_id] = depth
+        self._depth.add(node_id, -1)
         if depth == 0:
             ev = self._clear_events.pop(node_id, None)
             if ev is not None and not ev.triggered:

@@ -26,10 +26,12 @@ from repro.perf.registry import (
     kernel_variant,
     use_kernels,
 )
-from repro.perf import kernels  # noqa: E402  (registers both variants)
+from repro.perf import kernels  # noqa: E402  (registers naive + vectorized)
+from repro.perf import parallel  # noqa: E402  (registers the pool variant)
 
 __all__ = [
     "kernels",
+    "parallel",
     "REGISTRY",
     "VARIANTS",
     "KernelRegistry",

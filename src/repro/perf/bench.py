@@ -1,14 +1,18 @@
 """Micro-benchmarks for the hot-path layer + regression guard.
 
-Three benchmark groups, one ``BENCH_*.json`` sidecar each:
+Benchmark groups, one ``BENCH_*.json`` sidecar each:
 
 - :func:`bench_kernels` — every registered kernel, ``naive`` vs
-  ``vectorized``, on adversarially dense inputs (default 1M elements);
+  ``vectorized`` vs ``parallel``, on adversarially dense inputs
+  (default 1M elements);
 - :func:`bench_ffs` — FFS packing, allocate-per-step ``encode`` vs
   zero-copy ``encode_into`` with a warm :class:`~repro.ffs.PackBuffer`;
 - :func:`bench_engine` — event-queue backends (``heap`` vs
   ``calendar``) on a bursty same-timestamp workload, plus legacy vs
-  batched :class:`~repro.core.scheduler.MovementScheduler` wakeups.
+  batched :class:`~repro.core.scheduler.MovementScheduler` wakeups;
+- :func:`repro.perf.scale.bench_scale` — 10k/50k/100k-rank weak
+  scaling of the whole engine + scheduler stack, cross-checked
+  bit-for-bit against the heap-queue/dict-bookkeeping reference path.
 
 Each record carries a ``guards`` dict of *machine-portable* ratio
 metrics (fast path relative to the reference path, measured in the same
@@ -16,15 +20,21 @@ process on the same host).  :func:`compare` fails a run when any guard
 falls more than ``tolerance`` (default 20 %) below the committed
 baseline in ``benchmarks/perf/baselines/`` — absolute wall seconds are
 recorded for humans but never compared, so the guard is stable across
-host speeds.
+host speeds.  A record may additionally carry ``floors`` —
+``{metric: {floor, measured}}`` acceptance criteria enforced by
+:func:`check_floors` on *every* run, baseline or not (e.g. the ≥2x
+parallel-kernel speedup on hosts with ≥4 cores, or fingerprint
+equality in the weak-scaling cross-check).
 
-``python -m repro perf`` drives everything from the command line.
+``python -m repro perf`` drives everything from the command line
+(``python -m repro perf --scale`` includes the weak-scaling sweep).
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import time
 from pathlib import Path
 from typing import Any, Callable, Optional
@@ -32,6 +42,7 @@ from typing import Any, Callable, Optional
 import numpy as np
 
 from repro.perf import kernels as K
+from repro.perf import parallel as P
 from repro.perf.registry import REGISTRY
 
 __all__ = [
@@ -39,6 +50,7 @@ __all__ = [
     "bench_ffs",
     "bench_engine",
     "compare",
+    "check_floors",
     "write_record",
     "default_baseline_dir",
     "main",
@@ -93,22 +105,54 @@ def _kernel_cases(n: int, rng: np.random.Generator) -> dict[str, tuple]:
 
 
 def bench_kernels(n: int = 1_000_000, repeat: int = 3, seed: int = 11) -> dict:
-    """Time every kernel in both variants; guards are the speedups."""
+    """Time every kernel in all three variants; guards are the speedups.
+
+    The ``speedup:*`` guards (naive vs vectorized) are ratio metrics
+    compared against the committed baseline.  The parallel variant is
+    timed inside one warm pool; on hosts with ≥4 usable workers the
+    ≥2x-over-vectorized acceptance floor for the hot kernels is emitted
+    in ``floors`` (enforced by the CLI on every run) — pool overhead on
+    smaller hosts makes an absolute floor meaningless there, so the
+    timings are recorded but unenforced.
+    """
     cases = _kernel_cases(n, np.random.default_rng(seed))
     results: dict[str, dict] = {}
     guards: dict[str, float] = {}
-    for name in REGISTRY.names():
-        args = cases[name]
-        t_naive = _best_of(lambda: REGISTRY.get(name, "naive")(*args), repeat)
-        t_vec = _best_of(lambda: REGISTRY.get(name, "vectorized")(*args), repeat)
-        speedup = t_naive / max(t_vec, 1e-9)
-        results[name] = {
-            "naive_seconds": t_naive,
-            "vectorized_seconds": t_vec,
-            "speedup": speedup,
-        }
-        guards[f"speedup:{name}"] = speedup
-    return {"bench": "kernels", "n": n, "kernels": results, "guards": guards}
+    floors: dict[str, dict] = {}
+    workers = P.configured_workers()
+    with P.pooled(workers):
+        for name in REGISTRY.names():
+            args = cases[name]
+            t_naive = _best_of(lambda: REGISTRY.get(name, "naive")(*args), repeat)
+            t_vec = _best_of(
+                lambda: REGISTRY.get(name, "vectorized")(*args), repeat
+            )
+            t_par = _best_of(
+                lambda: REGISTRY.get(name, "parallel")(*args), repeat
+            )
+            speedup = t_naive / max(t_vec, 1e-9)
+            par_speedup = t_vec / max(t_par, 1e-9)
+            results[name] = {
+                "naive_seconds": t_naive,
+                "vectorized_seconds": t_vec,
+                "parallel_seconds": t_par,
+                "speedup": speedup,
+                "parallel_speedup": par_speedup,
+            }
+            guards[f"speedup:{name}"] = speedup
+            if workers >= 4 and (os.cpu_count() or 1) >= 4 and name in HOT_KERNELS:
+                floors[f"parallel_speedup:{name}"] = {
+                    "floor": 2.0,
+                    "measured": par_speedup,
+                }
+    return {
+        "bench": "kernels",
+        "n": n,
+        "workers": workers,
+        "kernels": results,
+        "guards": guards,
+        "floors": floors,
+    }
 
 
 def bench_ffs(
@@ -283,6 +327,22 @@ def compare(record: dict, baseline: dict, tolerance: float = 0.2) -> list[str]:
     return problems
 
 
+def check_floors(record: dict) -> list[str]:
+    """Unmet acceptance floors of *record* (empty when clean).
+
+    Unlike :func:`compare`, floors need no baseline: each entry of
+    ``record["floors"]`` carries its own bound and measurement, so
+    hard acceptance criteria (parallel-kernel speedup, weak-scaling
+    fingerprint equality) fail the CLI on any run that can measure
+    them.
+    """
+    return [
+        f"floor {key!r} not met: {v['measured']:.3g} < {v['floor']:.3g}"
+        for key, v in record.get("floors", {}).items()
+        if v["measured"] < v["floor"]
+    ]
+
+
 def _bench_query() -> dict:
     # lazy: repro.serve pulls in repro.query/operators, which must not
     # load just because the perf module was imported
@@ -299,12 +359,20 @@ def _bench_stream() -> dict:
     return bench_stream()
 
 
+def _bench_scale(ranks: Optional[list[int]] = None) -> dict:
+    # lazy: repro.perf.scale pulls in the engine and scheduler layers
+    from repro.perf.scale import bench_scale
+
+    return bench_scale(ranks=ranks)
+
+
 _BENCHES: dict[str, Callable[..., dict]] = {
     "kernels": bench_kernels,
     "ffs": bench_ffs,
     "engine": bench_engine,
     "query": _bench_query,
     "stream": _bench_stream,
+    "scale": _bench_scale,
 }
 
 
@@ -325,6 +393,14 @@ def main(argv: Optional[list[str]] = None) -> int:
         help="kernel benchmark element count (default 1M)",
     )
     ap.add_argument(
+        "--scale", action="store_true",
+        help="include the weak-scaling benchmark in the selection",
+    )
+    ap.add_argument(
+        "--scale-ranks", type=int, nargs="+", default=None, metavar="N",
+        help="weak-scaling rank counts (default 10000 50000 100000)",
+    )
+    ap.add_argument(
         "--baseline", type=Path, default=None,
         help="baseline dir to guard against (use 'default' for the "
         "committed benchmarks/perf/baselines)",
@@ -335,13 +411,29 @@ def main(argv: Optional[list[str]] = None) -> int:
     )
     args = ap.parse_args(argv)
     names = list(_BENCHES) if "all" in args.benches else list(dict.fromkeys(args.benches))
+    if args.scale and "scale" not in names:
+        names.append("scale")
     failures = []
     for name in names:
-        record = _BENCHES[name](args.n) if name == "kernels" else _BENCHES[name]()
+        if name == "kernels":
+            record = _BENCHES[name](args.n)
+        elif name == "scale":
+            record = _BENCHES[name](args.scale_ranks)
+        else:
+            record = _BENCHES[name]()
         path = write_record(name, record, args.out)
         print(f"[perf] {name}: wrote {path}")
         for key, val in sorted(record["guards"].items()):
             print(f"[perf]   {key} = {val:.3g}")
+        for key, bound in sorted(record.get("floors", {}).items()):
+            print(
+                f"[perf]   floor {key}: {bound['measured']:.3g} "
+                f"(required >= {bound['floor']:.3g})"
+            )
+        floor_problems = check_floors(record)
+        for p in floor_problems:
+            print(f"[perf]   FAILED {p}")
+        failures.extend(floor_problems)
         if args.baseline is not None:
             base_dir = (
                 default_baseline_dir()

@@ -1,0 +1,541 @@
+"""``parallel`` kernel variant: chunked kernels on a shared-memory pool.
+
+Every kernel registered by :mod:`repro.perf.kernels` gains a third
+implementation here that splits its input across a persistent
+:mod:`multiprocessing` pool — real cores, not simulated ones — and
+merges the per-chunk results with *order-independent, exact* combines,
+so the output is bit-for-bit identical to the ``naive`` and
+``vectorized`` variants no matter the worker count or chunk layout:
+
+- histogram counts are int64 partial sums (integer addition is
+  associative and exact);
+- WAH word lists are encoded per 31-bit-aligned chunk and stitched by
+  merging equal fill runs at the seams — exactly the run structure the
+  serial encoder produces;
+- sample-sort partials (``partition_rows``) concatenate per-chunk
+  ``searchsorted`` results in chunk order; ``group_rows`` merges
+  per-chunk groups bucket-by-bucket in chunk order, preserving the
+  original row order;
+- ``paste_pieces`` overlays per-chunk sub-slabs in chunk order, so
+  overlapping pieces resolve exactly as the serial left-to-right paste;
+- ``select_splitters`` sorts chunks in parallel, merges the sorted
+  runs, and applies numpy's exact quantile interpolation.
+
+Large array inputs travel through POSIX shared memory
+(:mod:`multiprocessing.shared_memory`): the parent copies the operand
+once into a segment, workers attach read-only views of their slice, and
+only the small per-chunk results are pickled back.
+
+Pool lifecycle
+--------------
+The pool is created lazily on the first dispatch that is worth
+splitting and lives for the duration of the active ``parallel``
+selection: :func:`shutdown` is registered as a registry teardown hook,
+so ``with use_kernels("parallel"):`` joins every worker deterministically
+on context exit (the leak-detection fixture in ``conftest.py`` enforces
+this between tests).  ``REPRO_KERNEL_WORKERS`` pins the worker count
+(default ``min(4, cpu_count)``); :func:`pooled` scopes an explicit
+worker count, which the parity tests use to sweep pool sizes 1/2/4.
+
+Inputs smaller than :data:`SMALL_INPUT_CUTOFF` elements are computed
+in-process with the vectorized implementation (identical by
+construction) — IPC latency would dwarf the work.  Tests that need to
+force tiny inputs through the real pool path set the cutoff to 0 via
+:func:`pooled`.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import os
+from contextlib import contextmanager
+from multiprocessing import shared_memory
+from typing import Any, Iterator, Optional, Sequence
+
+import numpy as np
+
+from repro.perf import kernels as K
+from repro.perf.registry import REGISTRY
+
+__all__ = [
+    "SMALL_INPUT_CUTOFF",
+    "configured_workers",
+    "effective_workers",
+    "pool_active",
+    "pooled",
+    "shutdown",
+]
+
+#: below this many elements a kernel runs in-process (vectorized path)
+SMALL_INPUT_CUTOFF = 4096
+
+#: default worker count when ``REPRO_KERNEL_WORKERS`` is unset
+_DEFAULT_WORKERS = max(1, min(4, os.cpu_count() or 1))
+
+_pool: Optional[Any] = None
+_pool_size: int = 0
+#: (workers, cutoff) overrides installed by :func:`pooled`
+_override_workers: Optional[int] = None
+_override_cutoff: Optional[int] = None
+
+
+def configured_workers() -> int:
+    """Worker count the next pool will start with."""
+    if _override_workers is not None:
+        return max(1, _override_workers)
+    env = os.environ.get("REPRO_KERNEL_WORKERS", "").strip()
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            raise ValueError(
+                f"REPRO_KERNEL_WORKERS={env!r} is not an integer"
+            ) from None
+    return _DEFAULT_WORKERS
+
+
+def effective_workers() -> int:
+    """Workers in the live pool, or what :func:`configured_workers` says."""
+    return _pool_size if _pool is not None else configured_workers()
+
+
+def _cutoff() -> int:
+    return SMALL_INPUT_CUTOFF if _override_cutoff is None else _override_cutoff
+
+
+def pool_active() -> bool:
+    """True while worker processes are alive (leak-detection probe)."""
+    return _pool is not None
+
+
+def shutdown() -> None:
+    """Join the pool deterministically (idempotent; teardown hook)."""
+    global _pool, _pool_size
+    if _pool is None:
+        return
+    pool, _pool = _pool, None
+    _pool_size = 0
+    pool.close()
+    pool.join()
+
+
+def _get_pool():
+    """The live pool, (re)created to match the configured worker count."""
+    global _pool, _pool_size
+    want = configured_workers()
+    if _pool is not None and _pool_size != want:
+        shutdown()
+    if _pool is None:
+        methods = multiprocessing.get_all_start_methods()
+        ctx = multiprocessing.get_context(
+            "fork" if "fork" in methods else None
+        )
+        _pool = ctx.Pool(want)
+        _pool_size = want
+    return _pool
+
+
+@contextmanager
+def pooled(
+    workers: Optional[int] = None, *, cutoff: Optional[int] = None
+) -> Iterator[int]:
+    """Scope a worker count (and optionally the small-input cutoff).
+
+    Restores the previous configuration and joins the scoped pool on
+    exit.  Yields the worker count in effect.
+    """
+    global _override_workers, _override_cutoff
+    saved = (_override_workers, _override_cutoff)
+    if workers is not None:
+        _override_workers = workers
+    if cutoff is not None:
+        _override_cutoff = cutoff
+    try:
+        yield configured_workers()
+    finally:
+        _override_workers, _override_cutoff = saved
+        shutdown()
+
+
+REGISTRY.register_teardown("parallel", shutdown)
+
+
+# =====================================================================
+# shared-memory scatter
+# =====================================================================
+
+class _Scatter:
+    """One contiguous array copied into a shared-memory segment.
+
+    The handle (segment name, dtype, shape) is what workers receive;
+    :meth:`close` releases and unlinks the segment once the pool map
+    has returned.
+    """
+
+    __slots__ = ("shm", "handle")
+
+    def __init__(self, arr: np.ndarray):
+        arr = np.ascontiguousarray(arr)
+        self.shm = shared_memory.SharedMemory(
+            create=True, size=max(arr.nbytes, 1)
+        )
+        view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=self.shm.buf)
+        view[...] = arr
+        del view
+        self.handle = (self.shm.name, arr.dtype.str, arr.shape)
+
+    def close(self) -> None:
+        self.shm.close()
+        self.shm.unlink()
+
+
+def _attach(handle) -> tuple[shared_memory.SharedMemory, np.ndarray]:
+    """Worker side: map a scattered array (read-only by convention)."""
+    name, dtype, shape = handle
+    # Attaching re-registers the segment with the resource tracker; the
+    # fork pool shares the parent's tracker (a name *set*), so that is a
+    # no-op and the parent's unlink after the map is the sole teardown.
+    shm = shared_memory.SharedMemory(name=name)
+    return shm, np.ndarray(shape, dtype=np.dtype(dtype), buffer=shm.buf)
+
+
+def _bounds(n: int, parts: int) -> list[tuple[int, int]]:
+    """Even ``[lo, hi)`` split of ``range(n)`` into *parts* chunks."""
+    if n <= 0:
+        return [(0, 0)]
+    parts = max(1, min(parts, n))
+    step = -(-n // parts)
+    return [(lo, min(lo + step, n)) for lo in range(0, n, step)]
+
+
+def _map(worker, tasks: list) -> list:
+    """Run *tasks* on the pool (single tasks skip the pool dispatch)."""
+    if len(tasks) == 1:
+        return [worker(tasks[0])]
+    return _get_pool().map(worker, tasks)
+
+
+def _split(arr: np.ndarray) -> Optional[tuple[_Scatter, list[tuple[int, int]]]]:
+    """Scatter *arr* and plan chunk bounds; None if not worth the pool."""
+    if arr.size < max(_cutoff(), 1):
+        return None
+    return _Scatter(arr), _bounds(arr.shape[0], configured_workers())
+
+
+# =====================================================================
+# workers (top-level so fork/spawn pools can import them by reference)
+# =====================================================================
+
+def _w_histogram1d(task):
+    handle, lo, hi, edges = task
+    shm, arr = _attach(handle)
+    try:
+        counts, _ = np.histogram(arr[lo:hi], bins=edges)
+        return counts.astype(np.int64)
+    finally:
+        del arr
+        shm.close()
+
+
+def _w_histogram2d(task):
+    hx, hy, lo, hi, ex, ey = task
+    shm_x, x = _attach(hx)
+    shm_y, y = _attach(hy)
+    try:
+        counts, _, _ = np.histogram2d(x[lo:hi], y[lo:hi], bins=(ex, ey))
+        return counts
+    finally:
+        del x, y
+        shm_x.close()
+        shm_y.close()
+
+
+def _w_wah_encode(task):
+    handle, lo, hi = task
+    shm, mask = _attach(handle)
+    try:
+        return K._wah_encode_vectorized(mask[lo:hi])
+    finally:
+        del mask
+        shm.close()
+
+
+def _w_wah_decode(task):
+    words, span_bits = task
+    return K._wah_decode_vectorized(words, span_bits)
+
+
+def _w_wah_count(words):
+    return K._wah_count_vectorized(words)
+
+
+def _w_sort_chunk(task):
+    handle, lo, hi = task
+    shm, arr = _attach(handle)
+    try:
+        return np.sort(arr[lo:hi])
+    finally:
+        del arr
+        shm.close()
+
+
+def _w_partition_rows(task):
+    handle, lo, hi, splitters = task
+    shm, keys = _attach(handle)
+    try:
+        return np.searchsorted(splitters, keys[lo:hi], side="right")
+    finally:
+        del keys
+        shm.close()
+
+
+def _w_group_rows(task):
+    hdata, hbuckets, lo, hi = task
+    shm_d, data = _attach(hdata)
+    shm_b, buckets = _attach(hbuckets)
+    try:
+        groups = K._group_rows_vectorized(data[lo:hi], buckets[lo:hi])
+        # rows are views into the shared segment; copy before it unmaps
+        return [(b, np.ascontiguousarray(rows)) for b, rows in groups]
+    finally:
+        del data, buckets
+        shm_d.close()
+        shm_b.close()
+
+
+def _w_paste_pieces(task):
+    slab_shape, dtype, pieces, s_lo = task
+    slab = np.zeros(slab_shape, dtype=dtype)
+    filled = np.zeros(slab_shape, dtype=bool)
+    for offsets, piece in pieces:
+        piece = np.asarray(piece)
+        sel = tuple(
+            slice(o - (s_lo if axis == 0 else 0), o - (s_lo if axis == 0 else 0) + d)
+            for axis, (o, d) in enumerate(zip(offsets, piece.shape))
+        )
+        slab[sel] = piece
+        filled[sel] = True
+    return slab, filled
+
+
+# =====================================================================
+# parallel variants
+# =====================================================================
+
+@REGISTRY.register("histogram1d", "parallel")
+def _histogram1d_parallel(values: np.ndarray, edges: np.ndarray) -> np.ndarray:
+    values = np.asarray(values, dtype=float).ravel()
+    plan = _split(values)
+    if plan is None:
+        return K._histogram1d_vectorized(values, edges)
+    scatter, bounds = plan
+    try:
+        edges = np.asarray(edges)
+        parts = _map(
+            _w_histogram1d,
+            [(scatter.handle, lo, hi, edges) for lo, hi in bounds],
+        )
+    finally:
+        scatter.close()
+    # int64 partial sums: associative and exact, so the merge is
+    # independent of chunk count and order
+    return np.sum(parts, axis=0, dtype=np.int64)
+
+
+@REGISTRY.register("histogram2d", "parallel")
+def _histogram2d_parallel(
+    x: np.ndarray, y: np.ndarray, ex: np.ndarray, ey: np.ndarray
+) -> np.ndarray:
+    x = np.asarray(x, dtype=float).ravel()
+    y = np.asarray(y, dtype=float).ravel()
+    if x.size < max(_cutoff(), 1):
+        return K._histogram2d_vectorized(x, y, ex, ey)
+    sx, sy = _Scatter(x), _Scatter(y)
+    try:
+        ex, ey = np.asarray(ex), np.asarray(ey)
+        tasks = [
+            (sx.handle, sy.handle, lo, hi, ex, ey)
+            for lo, hi in _bounds(x.shape[0], configured_workers())
+        ]
+        parts = _map(_w_histogram2d, tasks)
+    finally:
+        sx.close()
+        sy.close()
+    # np.histogram2d counts are integer-valued float64; their sums stay
+    # exact (well under 2**53), matching the serial count before the
+    # final int64 cast
+    return np.sum(parts, axis=0).astype(np.int64)
+
+
+@REGISTRY.register("wah_encode", "parallel")
+def _wah_encode_parallel(mask: np.ndarray) -> list:
+    mask = np.asarray(mask, dtype=bool).ravel()
+    if mask.size < max(_cutoff(), 1):
+        return K._wah_encode_vectorized(mask)
+    # chunk on 31-bit group boundaries: every chunk but the last packs
+    # whole words, so per-chunk encodes see exactly the groups the
+    # serial encoder sees
+    ngroups = (mask.size + K.WAH_WORD_BITS - 1) // K.WAH_WORD_BITS
+    scatter = _Scatter(mask)
+    try:
+        tasks = [
+            (scatter.handle, g_lo * K.WAH_WORD_BITS,
+             min(g_hi * K.WAH_WORD_BITS, mask.size))
+            for g_lo, g_hi in _bounds(ngroups, configured_workers())
+        ]
+        parts = _map(_w_wah_encode, tasks)
+    finally:
+        scatter.close()
+    words: list = []
+    for chunk in parts:
+        if (
+            words
+            and chunk
+            and words[-1][0] == "fill"
+            and chunk[0][0] == "fill"
+            and words[-1][1] == chunk[0][1]
+        ):
+            # a fill run crossing the seam: merge, as serial coding would
+            words[-1] = ("fill", words[-1][1], words[-1][2] + chunk[0][2])
+            words.extend(chunk[1:])
+        else:
+            words.extend(chunk)
+    return words
+
+
+@REGISTRY.register("wah_decode", "parallel")
+def _wah_decode_parallel(words: Sequence, nbits: int) -> np.ndarray:
+    words = list(words)
+    if not words or nbits < max(_cutoff(), 1):
+        return K._wah_decode_vectorized(words, nbits)
+    # each word covers `count` 31-bit groups; prefix sums give every
+    # chunk its exact bit offset, so per-chunk decodes concatenate into
+    # the serial output
+    counts = np.asarray([w[2] for w in words], dtype=np.int64)
+    starts_bits = np.concatenate([[0], np.cumsum(counts)]) * K.WAH_WORD_BITS
+    ngroups = (nbits + K.WAH_WORD_BITS - 1) // K.WAH_WORD_BITS
+    tasks = []
+    for lo, hi in _bounds(len(words), configured_workers()):
+        span = int(
+            min(starts_bits[hi], ngroups * K.WAH_WORD_BITS) - starts_bits[lo]
+        )
+        tasks.append((words[lo:hi], span))
+    parts = _map(_w_wah_decode, tasks)
+    return np.concatenate(parts)[:nbits]
+
+
+@REGISTRY.register("wah_count", "parallel")
+def _wah_count_parallel(words: Sequence) -> int:
+    words = list(words)
+    if len(words) < max(_cutoff(), 1) // K.WAH_WORD_BITS:
+        return K._wah_count_vectorized(words)
+    tasks = [words[lo:hi] for lo, hi in _bounds(len(words), configured_workers())]
+    return int(sum(_map(_w_wah_count, tasks)))
+
+
+@REGISTRY.register("select_splitters", "parallel")
+def _select_splitters_parallel(pool: np.ndarray, nworkers: int) -> np.ndarray:
+    if nworkers <= 1:
+        return np.array([])
+    arr = np.asarray(pool, dtype=float).ravel()
+    if arr.size < max(_cutoff(), 1):
+        return K._select_splitters_vectorized(arr, nworkers)
+    if np.isnan(arr).any():
+        # np.quantile: one NaN poisons every cut; np.unique collapses
+        # the all-NaN list to a single NaN (see the naive reference)
+        return np.asarray([math.nan])
+    scatter, bounds = _Scatter(arr), _bounds(arr.shape[0], configured_workers())
+    try:
+        runs = _map(
+            _w_sort_chunk, [(scatter.handle, lo, hi) for lo, hi in bounds]
+        )
+    finally:
+        scatter.close()
+    # timsort exploits the pre-sorted runs: the concatenate+stable-sort
+    # is effectively a k-way merge
+    s = np.sort(np.concatenate(runs), kind="stable")
+    n = s.size
+    qs = np.linspace(0, 1, nworkers + 1)[1:-1]
+    virtual = qs * (n - 1)
+    prev = np.floor(virtual).astype(np.intp)
+    gamma = virtual - prev
+    lo = s[prev]
+    hi = s[np.minimum(prev + 1, n - 1)]
+    with np.errstate(invalid="ignore", over="ignore"):
+        # numpy's two-branch linear interpolation, bit for bit
+        diff = hi - lo
+        cuts = np.where(gamma >= 0.5, hi - diff * (1 - gamma), lo + diff * gamma)
+    return np.unique(cuts)
+
+
+@REGISTRY.register("partition_rows", "parallel")
+def _partition_rows_parallel(keys: np.ndarray, splitters: np.ndarray) -> np.ndarray:
+    keys = np.asarray(keys)
+    plan = _split(keys.ravel())
+    if plan is None:
+        return K._partition_rows_vectorized(keys, splitters)
+    scatter, bounds = plan
+    try:
+        splitters = np.asarray(splitters)
+        parts = _map(
+            _w_partition_rows,
+            [(scatter.handle, lo, hi, splitters) for lo, hi in bounds],
+        )
+    finally:
+        scatter.close()
+    return np.concatenate(parts)
+
+
+@REGISTRY.register("group_rows", "parallel")
+def _group_rows_parallel(data: np.ndarray, buckets: np.ndarray) -> list:
+    data = np.asarray(data)
+    buckets = np.asarray(buckets)
+    if buckets.size == 0:
+        return []
+    if buckets.size < max(_cutoff(), 1):
+        return K._group_rows_vectorized(data, buckets)
+    sd, sb = _Scatter(data), _Scatter(buckets)
+    try:
+        tasks = [
+            (sd.handle, sb.handle, lo, hi)
+            for lo, hi in _bounds(buckets.shape[0], configured_workers())
+        ]
+        parts = _map(_w_group_rows, tasks)
+    finally:
+        sd.close()
+        sb.close()
+    # merge per-chunk groups in chunk order: within a bucket the chunks
+    # are disjoint, in-order row ranges, so concatenation reproduces the
+    # serial original-order guarantee
+    merged: dict[int, list[np.ndarray]] = {}
+    for chunk in parts:
+        for b, rows in chunk:
+            merged.setdefault(b, []).append(rows)
+    return [
+        (b, pieces[0] if len(pieces) == 1 else np.concatenate(pieces))
+        for b, pieces in sorted(merged.items())
+    ]
+
+
+@REGISTRY.register("paste_pieces", "parallel")
+def _paste_pieces_parallel(
+    slab_shape: tuple, dtype: Any, pieces: Sequence, s_lo: int
+) -> tuple:
+    pieces = list(pieces)
+    cells = int(np.prod(slab_shape)) if slab_shape else 1
+    if len(pieces) < 2 or cells < max(_cutoff(), 1):
+        return K._paste_pieces_vectorized(slab_shape, dtype, pieces, s_lo)
+    tasks = [
+        (slab_shape, dtype, pieces[lo:hi], s_lo)
+        for lo, hi in _bounds(len(pieces), configured_workers())
+    ]
+    parts = _map(_w_paste_pieces, tasks)
+    slab = np.zeros(slab_shape, dtype=dtype)
+    filled = np.zeros(slab_shape, dtype=bool)
+    # overlay in chunk order: later chunks overwrite earlier ones,
+    # exactly like the serial left-to-right paste resolves overlaps
+    for part_slab, part_filled in parts:
+        slab[part_filled] = part_slab[part_filled]
+        filled |= part_filled
+    return slab, int((~filled).sum())

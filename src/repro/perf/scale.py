@@ -1,0 +1,177 @@
+"""Weak-scaling benchmark: the event engine at Jaguar-scale rank counts.
+
+PreDatA's evaluation regime is 10k–100k+ MPI ranks (§V.B); the
+simulation only reproduces it if the discrete-event core survives that
+many concurrent rank processes.  :func:`bench_scale` drives a synthetic
+but representative staging workload — per-node applications cycling
+through communication phases while every rank's fetch admission goes
+through :meth:`~repro.core.scheduler.MovementScheduler.wait_clear` —
+at 10k/50k/100k ranks and records events/second per point.
+
+Every scale point is run twice:
+
+- the **optimized** path — calendar queue with batched bucket drains,
+  batched scheduler wakeups, numpy :class:`~repro.core.accounting.RankLedger`
+  bookkeeping;
+- the **reference** path — binary-heap queue (per-pop loop), legacy
+  per-waiter wakeups, plain-dict bookkeeping.
+
+Both must produce the *same fingerprint* (sha256 over final simulated
+time, the per-rank visible-seconds array, and the scheduler's deferral
+counters).  The fingerprint match is emitted as a floor metric, so
+``python -m repro perf scale`` fails on any observable divergence even
+without a baseline; events/second and the weak-scaling ratio are
+``guards`` compared against the committed ``BENCH_scale.json``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+import time
+from typing import Generator, Iterable, Optional
+
+import numpy as np
+
+from repro.core.accounting import RankLedger
+
+__all__ = ["bench_scale", "DEFAULT_RANKS"]
+
+#: default weak-scaling points (MPI rank counts)
+DEFAULT_RANKS = (10_000, 50_000, 100_000)
+
+
+class _DictDepth(dict):
+    """Plain-dict stand-in for the scheduler's RankLedger (reference)."""
+
+    def add(self, rank: int, amount: int) -> None:
+        self[rank] = self.get(rank, 0) + amount
+
+
+def _run_point(
+    nranks: int,
+    cycles: int,
+    ranks_per_node: int,
+    seed: int,
+    *,
+    reference: bool,
+) -> dict:
+    """One scale point; returns timing + fingerprint inputs."""
+    from repro.core.scheduler import MovementScheduler
+    from repro.sim.engine import Engine
+
+    nnodes = (nranks + ranks_per_node - 1) // ranks_per_node
+    rng = np.random.default_rng(seed)
+    # deterministic per-node comm-phase shapes and per-rank start jitter
+    comm_len = np.round(0.5 + rng.random(nnodes), 6)
+    gap_len = np.round(0.5 + rng.random(nnodes), 6)
+    jitter = np.round(rng.random(nranks) * 0.25, 6)
+
+    eng = Engine(queue="heap" if reference else "calendar")
+    sched = MovementScheduler(
+        eng, max_defer=1.0, batch_wakeups=not reference
+    )
+    if reference:
+        sched._depth = _DictDepth()
+    visible: dict = {} if reference else RankLedger(dtype="float64")
+
+    def app(node: int) -> Generator:
+        for _ in range(cycles):
+            sched.enter_comm_phase(node)
+            yield eng.timeout(comm_len[node].item())
+            sched.exit_comm_phase(node)
+            yield eng.timeout(gap_len[node].item())
+
+    def rank_proc(rank: int) -> Generator:
+        node = rank // ranks_per_node
+        for _ in range(cycles):
+            yield eng.timeout(jitter[rank].item())
+            deferred = yield from sched.wait_clear(node)
+            if reference:
+                visible[rank] = visible.get(rank, 0.0) + deferred
+            else:
+                visible.add(rank, deferred)
+
+    t0 = time.perf_counter()
+    for node in range(nnodes):
+        eng.process(app(node), name=f"app-{node}")
+    for rank in range(nranks):
+        eng.process(rank_proc(rank), name=f"rank-{rank}")
+    eng.run()
+    elapsed = time.perf_counter() - t0
+
+    if reference:
+        dense = np.zeros(nranks, dtype=np.float64)
+        for r, v in visible.items():
+            dense[r] = v
+    else:
+        dense = visible.dense(nranks)
+    h = hashlib.sha256()
+    h.update(struct.pack("<d", eng.now))
+    h.update(dense.tobytes())
+    h.update(struct.pack("<q", sched.deferred_fetches))
+    h.update(struct.pack("<d", sched.total_defer_seconds))
+    return {
+        "events": eng._seq,
+        "seconds": elapsed,
+        "sim_now": eng.now,
+        "deferred_fetches": sched.deferred_fetches,
+        "total_defer_seconds": sched.total_defer_seconds,
+        "fingerprint": h.hexdigest(),
+    }
+
+
+def bench_scale(
+    ranks: Optional[Iterable[int]] = None,
+    cycles: int = 2,
+    ranks_per_node: int = 128,
+    seed: int = 13,
+) -> dict:
+    """Weak-scaling sweep; every point cross-checked vs the reference.
+
+    Guards: absolute events/second at the largest point (the satellite
+    regression bound), the weak-scaling throughput ratio largest/
+    smallest, and — as an always-enforced floor — fingerprint equality
+    between the optimized and reference engine paths.
+    """
+    rank_points = sorted(dict.fromkeys(int(r) for r in (ranks or DEFAULT_RANKS)))
+    points: dict[str, dict] = {}
+    all_match = True
+    for nranks in rank_points:
+        fast = _run_point(
+            nranks, cycles, ranks_per_node, seed, reference=False
+        )
+        ref = _run_point(
+            nranks, cycles, ranks_per_node, seed, reference=True
+        )
+        match = fast["fingerprint"] == ref["fingerprint"]
+        all_match = all_match and match
+        points[str(nranks)] = {
+            **fast,
+            "events_per_sec": fast["events"] / max(fast["seconds"], 1e-9),
+            "reference_seconds": ref["seconds"],
+            "reference_fingerprint": ref["fingerprint"],
+            "fingerprint_match": match,
+        }
+    lo, hi = str(rank_points[0]), str(rank_points[-1])
+    eps_hi = points[hi]["events_per_sec"]
+    guards = {
+        f"events_per_sec_{hi}": eps_hi,
+        "weak_scaling_ratio": eps_hi / max(points[lo]["events_per_sec"], 1e-9),
+        "fingerprint_match:reference": 1.0 if all_match else 0.0,
+    }
+    return {
+        "bench": "scale",
+        "ranks": rank_points,
+        "cycles": cycles,
+        "ranks_per_node": ranks_per_node,
+        "seed": seed,
+        "points": points,
+        "guards": guards,
+        "floors": {
+            "fingerprint_match:reference": {
+                "floor": 1.0,
+                "measured": 1.0 if all_match else 0.0,
+            }
+        },
+    }

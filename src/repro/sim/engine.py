@@ -417,9 +417,16 @@ class _CalendarQueue:
     unique, so bucket-heap comparisons terminate before reaching the
     event, and the global pop order ``(time, priority, sub, seq)`` is
     identical to :class:`_HeapQueue`.
+
+    :meth:`drain_bucket` removes the whole front bucket in one pop for
+    the engine's batched run loop.  ``urgent_pushes`` counts URGENT
+    pushes so the batch loop can detect an urgent entry scheduled *at
+    the drained instant* by one of the drained callbacks and requeue
+    the not-yet-run remainder (pop order stays identical to
+    :class:`_HeapQueue`; see :meth:`Engine.run`).
     """
 
-    __slots__ = ("_buckets", "_times", "_len")
+    __slots__ = ("_buckets", "_times", "_len", "urgent_pushes")
 
     _ABSENT: Any = object()
 
@@ -427,9 +434,12 @@ class _CalendarQueue:
         self._buckets: dict[float, Any] = {}
         self._times: list[float] = []
         self._len = 0
+        self.urgent_pushes = 0
 
     def push(self, t: float, prio: int, sub: int, seq: int, event: Event) -> None:
         entry = (prio, sub, seq, event)
+        if prio == URGENT:
+            self.urgent_pushes += 1
         buckets = self._buckets
         bucket = buckets.get(t, self._ABSENT)
         if bucket is self._ABSENT:
@@ -460,6 +470,32 @@ class _CalendarQueue:
             self._len -= 1
             return t, prio, sub, seq, event
         raise IndexError("pop from an empty calendar queue")
+
+    def drain_bucket(self) -> tuple[float, list[tuple[int, int, int, Event]]]:
+        """Pop every entry of the front bucket, sorted, in one call.
+
+        Returns ``(t, entries)`` with entries in pop order
+        ``(priority, sub, seq)``.  The bucket is left drained (``None``)
+        so same-time pushes from the entries' callbacks refill it
+        without touching the timestamp heap.
+        """
+        times = self._times
+        buckets = self._buckets
+        while times:
+            t = times[0]
+            bucket = buckets[t]
+            if not bucket:  # None or drained list: reap and advance
+                del buckets[heapq.heappop(times)]
+                continue
+            buckets[t] = None
+            if type(bucket) is list:
+                bucket.sort()  # heap -> total order; seq is unique
+                entries = bucket
+            else:
+                entries = [bucket]
+            self._len -= len(entries)
+            return t, entries
+        raise IndexError("drain from an empty calendar queue")
 
     def peek_time(self) -> float:
         times = self._times
@@ -591,21 +627,74 @@ class Engine:
         return AllOf(self, events)
 
     def run(self, until: Optional[float] = None) -> None:
-        """Run until the queue drains or simulated time reaches *until*."""
+        """Run until the queue drains or simulated time reaches *until*.
+
+        With the calendar backend and no tie-breaker the loop drains
+        whole same-timestamp buckets in one pop
+        (:meth:`_CalendarQueue.drain_bucket`) instead of re-sifting the
+        bucket heap per event.  Pop order is provably unchanged: new
+        entries scheduled by a drained callback carry a larger ``seq``
+        than everything drained, so NORMAL/URGENT entries landing at the
+        same instant sort after the batch — except a *new URGENT entry
+        vs the batch's remaining NORMAL entries* (URGENT beats NORMAL
+        regardless of seq).  The loop watches the queue's
+        ``urgent_pushes`` counter for exactly that case and requeues the
+        unran remainder, falling back to a fresh drain.  A custom
+        tie-breaker may order a new entry *before* older ones at the
+        same ``(time, priority)``, so batching is disabled whenever one
+        is attached.
+        """
         if until is not None and until < self._now:
             raise ValueError(f"until={until} is in the past (now={self._now})")
-        while self._queue:
-            t = self._queue.peek_time()
+        queue = self._queue
+        if self._tie_breaker is None and type(queue) is _CalendarQueue:
+            self._run_batched(queue, until)
+            return
+        while queue:
+            t = queue.peek_time()
             if until is not None and t > until:
                 self._now = until
                 return
-            t, prio, sub, seq, event = self._queue.pop()
+            t, prio, sub, seq, event = queue.pop()
             if t < self._now - 1e-12:
                 raise SimulationError("event queue time went backwards")
             self._now = max(self._now, t)
             if self.schedule_trace is not None:
                 self.schedule_trace.record(t, prio, sub, seq, event)
             event._run_callbacks()
+        if until is not None:
+            self._now = max(self._now, until)
+
+    def _run_batched(self, queue: _CalendarQueue, until: Optional[float]) -> None:
+        """Batched run loop over whole calendar buckets (see :meth:`run`)."""
+        while queue:
+            t = queue.peek_time()
+            if until is not None and t > until:
+                self._now = until
+                return
+            t, entries = queue.drain_bucket()
+            if t < self._now - 1e-12:
+                raise SimulationError("event queue time went backwards")
+            self._now = max(self._now, t)
+            mark = queue.urgent_pushes
+            for i, (prio, sub, seq, event) in enumerate(entries):
+                if prio != URGENT and queue.urgent_pushes != mark:
+                    # A callback scheduled a new URGENT entry at this
+                    # instant: it must run before the batch's remaining
+                    # NORMAL entries.  Requeue them and re-drain.
+                    for p2, s2, q2, e2 in entries[i:]:
+                        queue.push(t, p2, s2, q2, e2)
+                    break
+                if self.schedule_trace is not None:
+                    self.schedule_trace.record(t, prio, sub, seq, event)
+                try:
+                    event._run_callbacks()
+                except BaseException:
+                    # Keep queue state identical to the per-pop loop:
+                    # everything not yet run goes back before raising.
+                    for p2, s2, q2, e2 in entries[i + 1 :]:
+                        queue.push(t, p2, s2, q2, e2)
+                    raise
         if until is not None:
             self._now = max(self._now, until)
 

@@ -9,11 +9,12 @@ baseline wherever byte-identity is promised:
   checker) promises byte-identity even when ENABLED — the sinks are
   pure recorders — so within each (flow, faults, kernels) group the
   fingerprint must not move when tracing is switched on;
-- the *kernels* dimension (``naive`` vs ``vectorized`` hot-path
-  implementations) promises byte-identity both ways — the variants are
-  bit-for-bit interchangeable — so within each (flow, trace, faults)
-  group neither the fingerprint nor the executed-schedule hash may move
-  when only the kernel selection differs;
+- the *kernels* dimension (``naive``/``vectorized``/``parallel``
+  hot-path implementations) promises byte-identity every way — the
+  variants are bit-for-bit interchangeable — so within each
+  (flow, trace, faults) group neither the fingerprint nor the
+  executed-schedule hash may move when only the kernel selection
+  differs;
 - flow control and fault injection legitimately change the run, so
   across groups only determinism (same combo twice -> same digest) is
   required.
@@ -31,7 +32,7 @@ from repro.obs import Observability
 from repro.perf import REGISTRY, VARIANTS
 
 FLAGS = list(itertools.product([False, True], repeat=3))  # (flow, trace, faults)
-COMBOS = [(*flags, kern) for flags in FLAGS for kern in VARIANTS]  # 16
+COMBOS = [(*flags, kern) for flags in FLAGS for kern in VARIANTS]  # 24
 
 
 def _run(flow: bool, trace: bool, faults: bool, kernels: str = "vectorized"):
@@ -76,26 +77,28 @@ def test_trace_dimension_is_byte_identical(matrix, flow, faults, kern):
 @pytest.mark.parametrize("flow", [False, True], ids=["flow-off", "flow-on"])
 @pytest.mark.parametrize("trace", [False, True], ids=["trace-off", "trace-on"])
 @pytest.mark.parametrize("faults", [False, True], ids=["faults-off", "faults-on"])
-def test_kernel_dimension_is_byte_identical(matrix, flow, trace, faults):
-    """naive and vectorized kernels must produce identical runs."""
-    fp_naive = matrix[(flow, trace, faults, "naive")][0]
+@pytest.mark.parametrize("kern", [v for v in VARIANTS if v != "vectorized"])
+def test_kernel_dimension_is_byte_identical(matrix, flow, trace, faults, kern):
+    """naive/parallel kernels must produce runs identical to vectorized."""
+    fp_other = matrix[(flow, trace, faults, kern)][0]
     fp_vec = matrix[(flow, trace, faults, "vectorized")][0]
-    assert fp_naive == fp_vec, (
-        f"kernel variant changed the run under "
+    assert fp_other == fp_vec, (
+        f"kernel variant {kern} changed the run under "
         f"flow={flow} trace={trace} faults={faults}"
     )
 
 
 @pytest.mark.parametrize("flow", [False, True], ids=["flow-off", "flow-on"])
 @pytest.mark.parametrize("faults", [False, True], ids=["faults-off", "faults-on"])
-def test_kernel_dimension_preserves_schedule_hash(matrix, flow, faults):
+@pytest.mark.parametrize("kern", [v for v in VARIANTS if v != "vectorized"])
+def test_kernel_dimension_preserves_schedule_hash(matrix, flow, faults, kern):
     """The executed-schedule hash (every pop the engine made, in order)
     must be identical when only the kernel selection differs."""
-    h_naive = matrix[(flow, True, faults, "naive")][2]["schedule_trace"]
+    h_other = matrix[(flow, True, faults, kern)][2]["schedule_trace"]
     h_vec = matrix[(flow, True, faults, "vectorized")][2]["schedule_trace"]
-    assert h_naive.count == h_vec.count
-    assert h_naive.schedule_hash == h_vec.schedule_hash, (
-        f"kernel variant perturbed the executed schedule under "
+    assert h_other.count == h_vec.count
+    assert h_other.schedule_hash == h_vec.schedule_hash, (
+        f"kernel variant {kern} perturbed the executed schedule under "
         f"flow={flow} faults={faults}"
     )
 

@@ -315,3 +315,138 @@ def test_peek_reports_next_event_time():
     eng.process(proc(eng))
     eng.run(until=0.0)  # start the process
     assert eng.peek() == pytest.approx(9.0)
+
+
+# batched calendar drains ---------------------------------------------
+
+def _cascade_program(eng, log):
+    """Same-time bursts, urgent proxies, and interrupts on *eng*.
+
+    Exercises every path the batched calendar drain handles specially:
+    URGENT events scheduled mid-batch (``succeed(priority=URGENT)`` and
+    the urgent proxy created by waiting on an already-processed event),
+    plus an interrupt landing inside a same-timestamp burst.
+    """
+    from repro.sim.engine import NORMAL, URGENT
+
+    def worker(i):
+        yield eng.timeout(1.0 + (i % 2))
+        for h in range(4):
+            ev = eng.event()
+            ev.succeed(priority=URGENT if (i + h) % 3 == 0 else NORMAL)
+            yield ev
+        log.append(("hops-done", i, eng.now))
+
+    early = eng.event()
+
+    def firer():
+        yield eng.timeout(0.5)
+        early.succeed("v")
+
+    def late_waiter():
+        yield eng.timeout(2.0)
+        value = yield early  # already processed -> URGENT proxy mid-batch
+        log.append(("late", value, eng.now))
+
+    def sleeper():
+        try:
+            yield eng.timeout(50.0)
+        except Interrupt as exc:
+            log.append(("interrupted", exc.cause, eng.now))
+
+    def interrupter(victim):
+        yield eng.timeout(2.0)
+        victim.interrupt("stop")
+
+    for i in range(6):
+        eng.process(worker(i))
+    eng.process(firer())
+    eng.process(late_waiter())
+    victim = eng.process(sleeper())
+    eng.process(interrupter(victim))
+    eng.run()
+
+
+def test_batched_calendar_schedule_identical_to_heap():
+    """The batch-drain run loop must pop byte-for-byte like the heap."""
+    from repro.check import ScheduleTrace
+
+    results = []
+    for backend in ("heap", "calendar"):
+        eng = Engine(queue=backend)
+        trace = ScheduleTrace()
+        eng.schedule_trace = trace
+        log = []
+        _cascade_program(eng, log)
+        results.append((log, trace.count, trace.schedule_hash, eng.now))
+    assert results[0] == results[1]
+
+
+def test_urgent_push_mid_batch_preempts_remaining_normals():
+    """An URGENT event scheduled by a drained callback runs before the
+    batch's remaining NORMAL entries — same order as the heap."""
+    from repro.sim.engine import URGENT
+
+    def build(backend):
+        eng = Engine(queue=backend)
+        order = []
+
+        def normal(i):
+            yield eng.timeout(1.0)
+            if i == 0:  # first of the batch schedules an urgent event
+                ev = eng.event()
+                ev.succeed("u", priority=URGENT)
+            order.append(("n", i))
+
+        for i in range(5):
+            eng.process(normal(i))
+        eng.run()
+        return order
+
+    assert build("calendar") == build("heap")
+
+
+def test_exception_mid_batch_requeues_remaining_events():
+    """An exception escaping a callback mid-batch must leave the queue
+    exactly as the per-pop loop would: the rest of the batch intact."""
+    eng = Engine(queue="calendar", catch_errors=False)
+    ran = []
+
+    def ok(i):
+        yield eng.timeout(1.0)
+        ran.append(i)
+
+    def bad():
+        yield eng.timeout(1.0)
+        raise RuntimeError("boom")
+
+    eng.process(ok(0))
+    eng.process(bad())
+    eng.process(ok(1))
+    eng.process(ok(2))
+    with pytest.raises(RuntimeError, match="boom"):
+        eng.run()
+    assert ran == [0]  # the batch stopped at the failing event...
+    eng.run()  # ...and the requeued remainder resumes cleanly
+    assert ran == [0, 1, 2]
+
+
+def test_custom_tie_breaker_disables_batching_but_not_correctness():
+    """A tie-breaker routes the calendar queue through the per-pop
+    loop; both backends must still agree under the same seed."""
+    from repro.sim.engine import SeededTieBreaker
+
+    def build(backend):
+        eng = Engine(queue=backend, tie_breaker=SeededTieBreaker(99))
+        order = []
+
+        def worker(i):
+            yield eng.timeout(1.0)
+            order.append(i)
+
+        for i in range(8):
+            eng.process(worker(i))
+        eng.run()
+        return order
+
+    assert build("calendar") == build("heap")
