@@ -31,6 +31,12 @@ Commands map to the experiment harness:
   scenario (in-transit analysis + mid-run follower + slow consumer
   under credit backpressure) over DataSpaces continuous queries;
   writes ``BENCH_stream.json`` (see ``python -m repro stream --help``)
+- ``scenarios``      — adversarial scenario library: named, seeded
+  chaos scenarios (hot-spot skew, stragglers, corrupt/withheld
+  fetches, regional partitions, kitchen sink) mapped in THREATS.md to
+  the invariants that must survive them; ``list``/``run``/``sweep``
+  with the ``BENCH_chaos_matrix.json`` guard (see
+  ``python -m repro scenarios --help``)
 
 ``fig7``, ``headline`` and ``chaos`` accept ``--trace [PATH]`` to dump
 a Chrome ``trace_event`` file (viewable in https://ui.perfetto.dev), a
@@ -76,11 +82,16 @@ def main(argv=None) -> int:
         from repro.stream.cli import main as stream_main
 
         return stream_main(argv[1:])
+    if argv and argv[0] == "scenarios":
+        # the scenario-library CLI owns its own argument set
+        from repro.scenarios.cli import main as scenarios_main
+
+        return scenarios_main(argv[1:])
     parser.add_argument(
         "command",
         choices=["run-all", "fig7", "fig8", "fig9", "fig10", "fig11",
                  "headline", "utilization", "chaos", "check", "perf",
-                 "jobs", "serve", "stream"],
+                 "jobs", "serve", "stream", "scenarios"],
         help="experiment to run",
     )
     parser.add_argument("--fast", action="store_true",

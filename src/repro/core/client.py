@@ -21,6 +21,7 @@ RDMA get served by :meth:`StagingClient.serve_fetch`.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Any, Callable, Generator, Optional
 
@@ -43,6 +44,14 @@ def default_route(compute_rank: int, ncompute: int, nstaging: int) -> int:
     return compute_rank * nstaging // ncompute
 
 
+def _garbled(payload) -> bytes:
+    """A corrupted copy of *payload* (fault injection's wire garbage)."""
+    bad = bytearray(payload)
+    for i in range(min(32, len(bad))):
+        bad[i] ^= 0xA5
+    return bytes(bad)
+
+
 @dataclass
 class FetchRequest:
     """The small message sent from a compute process to its staging
@@ -62,6 +71,10 @@ class _BufferRecord:
     logical_nbytes: float
     freed: Event
     node_id: int
+    #: pack-time sha256 of the payload, kept only while a fault hook is
+    #: armed (corrupt-chunk detection); None otherwise — zero overhead
+    #: and byte-identical behaviour for fault-free runs
+    digest: Optional[bytes] = None
 
 
 class StagingClient:
@@ -344,6 +357,11 @@ class StagingClient:
             logical_nbytes=step.nbytes_logical,
             freed=freed,
             node_id=comm.node_id,
+            digest=(
+                hashlib.sha256(payload).digest()
+                if self.fault_hook is not None
+                else None
+            ),
         )
         pending.append(freed)
         if env.check is not None:
@@ -439,6 +457,12 @@ class StagingClient:
                 yield self.env.timeout(delay)
             if mode == "drop":
                 raise FetchDropped(compute_rank, step, attempt)
+            if mode == "withhold":
+                # silent non-answer: the descriptor is posted but the
+                # responder never completes it — only the puller's
+                # per-attempt timeout (which interrupts this process)
+                # can end the attempt
+                yield self.env.event()
         wire = self.machine.network.transfer_event(
             rec.node_id, staging_node, rec.logical_nbytes, rdma=True
         )
@@ -452,7 +476,21 @@ class StagingClient:
             rec.freed.succeed()
         if self.env.check is not None:
             self.env.check.on_fetched(self.key(compute_rank, step), rec.logical_nbytes)
+        if fault is not None and fault[0] == "corrupt":
+            return _garbled(rec.payload)
         return rec.payload
+
+    def payload_ok(self, compute_rank: int, step: int, payload) -> bool:
+        """Whether *payload* matches the chunk's pack-time checksum.
+
+        True when no checksum was recorded (no fault hook armed at pack
+        time, or the buffer already consumed) — verification only ever
+        rejects provably garbled bytes.
+        """
+        rec = self._buffers.get((compute_rank, step))
+        if rec is None or rec.digest is None:
+            return True
+        return hashlib.sha256(payload).digest() == rec.digest
 
     @property
     def outstanding_buffers(self) -> int:

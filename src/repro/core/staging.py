@@ -702,8 +702,15 @@ class StagingService:
                 if proc.is_alive:
                     proc.interrupt("step aborted")
                 raise
+            corrupt = False
             if proc.triggered and proc.ok:
-                return proc.value
+                payload = proc.value
+                if self.client.payload_ok(req.compute_rank, step, payload):
+                    return payload
+                # the bytes arrived but fail the pack-time checksum:
+                # reject the garbage chunk and re-fetch (the compute-side
+                # buffer survives in resilient mode)
+                corrupt = True
             if proc.is_alive:
                 proc.interrupt("fetch timed out")
             self.fetch_retries += 1
@@ -712,7 +719,8 @@ class StagingService:
             if env.obs is not None:
                 env.obs.metrics.inc("fetch_retries", stage=comm.rank)
                 env.obs.instant(
-                    "fetch_retry", "recovery", tid=f"stage{comm.rank}",
+                    "corrupt_chunk_rejected" if corrupt else "fetch_retry",
+                    "recovery", tid=f"stage{comm.rank}",
                     compute_rank=req.compute_rank, step=step, attempt=attempt,
                 )
             if attempt + 1 < r.fetch_max_attempts:

@@ -151,6 +151,8 @@ def run_once(
     schedule_trace=None,
     check=None,
     stream_bridge=None,
+    scenario_harness=None,
+    topology=None,
 ) -> ChaosRun:
     """One complete chaos scenario; returns metrics + readable files.
 
@@ -184,6 +186,13 @@ def run_once(
     so the run stays byte-identical (fingerprint *and* schedule hash)
     with streaming enabled; the recorded steps are replayed into a
     live stream as a separate post-pass.
+
+    ``scenario_harness`` attaches an adversarial scenario set
+    (:class:`repro.scenarios.ScenarioHarness`) to the run before the
+    application starts; a harness whose every scenario has zero
+    intensity attaches nothing and leaves the run byte-identical.
+    ``topology`` is forwarded to :class:`~repro.machine.Machine`
+    (regional scenarios pass a ``RegionalTopology`` factory).
     """
     eng = Engine(tie_breaker=tie_breaker)
     if schedule_trace is not None:
@@ -194,7 +203,8 @@ def run_once(
         kind = "fault" if inject else "baseline"
         obs.bind(eng, label=f"chaos:{logical_ranks}:{kind}")
     machine = Machine(
-        eng, rep_ranks, nstaging_nodes, spec=TESTING_TINY, fs_interference=False
+        eng, rep_ranks, nstaging_nodes, spec=TESTING_TINY,
+        fs_interference=False, topology=topology,
     )
     real_bytes = local_n * local_n * local_n * 8
     scale = max(
@@ -232,6 +242,8 @@ def run_once(
         injector = FaultInjector(eng, machine, seed=seed, enabled=inject)
         injector.arm(predata.client)
         killed = injector.crash_staging_node(at=crash_t)
+    if scenario_harness is not None:
+        scenario_harness.attach(eng, machine, predata, nsteps=nsteps)
 
     app = World(
         eng,

@@ -5,6 +5,18 @@ event engine (:class:`FaultInjector`), sim-time heartbeat liveness
 (:class:`FailureDetector`), and the staging recovery/degradation
 protocol (:class:`ResilienceController`), configured through
 :class:`ResilienceConfig` on :class:`~repro.core.staging.StagingConfig`.
+
+Injection primitives span node crashes, link/filesystem degradation,
+and four fetch fault modes: ``drop`` (the transport reports a failed
+descriptor), ``slow`` (delayed completion), ``corrupt_chunk`` (a
+successful-looking completion carrying garbage bytes — detected by the
+staging side's pack-time sha256 and re-fetched), and ``withhold_fetch``
+(a *silent* non-answer that only the puller's per-attempt deadline
+ends, distinct from ``drop``'s error path).  Regional primitives
+(``partition_regions``/``slow_region``) need a
+:class:`~repro.machine.topology.RegionalTopology` machine.  The
+adversarial scenario library (:mod:`repro.scenarios`, THREATS.md)
+composes these into named, seeded threat scenarios.
 """
 
 from repro.faults.config import ResilienceConfig

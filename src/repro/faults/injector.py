@@ -8,6 +8,14 @@ through the fault hooks added for resilience work:
 - ``stall_filesystem``                    -> :meth:`ParallelFileSystem.stall_window`
 - ``drop_fetch`` / ``slow_fetch`` / ``random_fetch_faults``
                                           -> the staging client's fetch hook
+- ``corrupt_chunk``    -> the fetch completes but delivers garbage bytes;
+  the staging side detects the checksum mismatch and re-fetches (needs
+  the resilient fetch path)
+- ``withhold_fetch``   -> a *silent* non-answer: the RDMA get is posted
+  but never completes, distinct from ``drop_fetch``'s error path — only
+  the puller's per-attempt timeout ends the attempt
+- ``partition_regions`` / ``slow_region`` -> extra cross-region latency
+  windows on a :class:`~repro.machine.topology.RegionalTopology` network
 
 Everything is driven either by explicit (time, target) plans or by a
 seeded ``numpy`` generator, so a fixed seed reproduces the exact same
@@ -139,6 +147,73 @@ class FaultInjector:
         self._fetch_plans.setdefault((compute_rank, step), []).append(
             ("slow", delay)
         )
+
+    def corrupt_chunk(
+        self, compute_rank: int, step: int, *, attempts: int = 1
+    ) -> None:
+        """Deliver garbage bytes for the first *attempts* fetches of
+        (rank, step).
+
+        The transfer itself succeeds — the staging side must notice via
+        the pack-time checksum, reject the chunk and re-fetch, so this
+        primitive requires the resilient fetch path (retry budget >
+        *attempts*) to make progress.
+        """
+        if not self.enabled:
+            return
+        plan = self._fetch_plans.setdefault((compute_rank, step), [])
+        plan.extend([("corrupt", 0.0)] * attempts)
+
+    def withhold_fetch(
+        self, compute_rank: int, step: int, *, attempts: int = 1
+    ) -> None:
+        """Silently withhold the first *attempts* fetch responses of
+        (rank, step).
+
+        Unlike :meth:`drop_fetch` (the transport *reports* the failed
+        descriptor), a withheld fetch simply never answers: the attempt
+        hangs until the puller's per-attempt timeout interrupts it, so
+        progress requires the resilient fetch path.
+        """
+        if not self.enabled:
+            return
+        plan = self._fetch_plans.setdefault((compute_rank, step), [])
+        plan.extend([("withhold", 0.0)] * attempts)
+
+    # -- regional faults ---------------------------------------------------
+    def partition_regions(
+        self,
+        region_a: str,
+        region_b: str,
+        *,
+        at: float,
+        duration: float,
+        extra: float,
+    ) -> None:
+        """Cross-``(region_a, region_b)`` transfers posted during the
+        window pay *extra* seconds of latency (a partition when *extra*
+        exceeds the fetch timeout; schedule several short windows for a
+        flapping link).  Requires a :class:`RegionalTopology` network.
+        """
+        if not self.enabled:
+            return
+        self.machine.network.region_extra_window(
+            region_a, region_b, at, at + duration, extra
+        )
+        self._record("region_partition", at, (region_a, region_b, duration, extra))
+
+    def slow_region(
+        self, region: str, *, at: float, duration: float, extra: float
+    ) -> None:
+        """Every transfer into/out of *region* posted during the window
+        pays *extra* seconds (a congested or distant site)."""
+        if not self.enabled:
+            return
+        net = self.machine.network
+        for other in net.topology.regions:
+            if other != region:
+                net.region_extra_window(region, other, at, at + duration, extra)
+        self._record("slow_region", at, (region, duration, extra))
 
     def random_fetch_faults(
         self,

@@ -4,7 +4,9 @@ This package substitutes for the ORNL Jaguar Cray XT4/XT5 hardware the
 paper ran on.  It provides:
 
 - :mod:`repro.machine.topology` — a 3-D torus topology (SeaStar mesh)
-  with hop-count routing, built on ``networkx``;
+  with hop-count routing, built on ``networkx``, plus
+  :class:`RegionalTopology` layering named regions with
+  per-region-pair latency classes over the torus;
 - :mod:`repro.machine.network` — a fluid-flow interconnect model with
   per-node full-duplex NIC pipes, a bisection backbone, RDMA transfers
   and alpha-beta collective cost models;
@@ -24,11 +26,12 @@ from repro.machine.machine import Machine
 from repro.machine.network import Network, NetworkConfig
 from repro.machine.node import MemoryError_, Node, NodeConfig, NodeFailure
 from repro.machine.presets import JAGUAR_XT4, JAGUAR_XT5, MachineSpec, TESTING_TINY
-from repro.machine.topology import TorusTopology
+from repro.machine.topology import LatencyClass, RegionalTopology, TorusTopology
 
 __all__ = [
     "FileSystemConfig",
     "JAGUAR_XT4",
+    "LatencyClass",
     "JAGUAR_XT5",
     "Machine",
     "MachineSpec",
@@ -39,6 +42,7 @@ __all__ = [
     "NodeConfig",
     "NodeFailure",
     "ParallelFileSystem",
+    "RegionalTopology",
     "TESTING_TINY",
     "TorusTopology",
 ]

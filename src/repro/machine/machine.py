@@ -30,6 +30,10 @@ class Machine:
     n_staging_nodes: nodes allocated to the PreDatA Staging Area.
     spec: hardware parameter preset (default: Jaguar XT5).
     fs_interference: enable file-system variability (shared machine).
+    topology: explicit :class:`TorusTopology` instance covering the
+        allocation, or a factory called with the total node count
+        (e.g. ``lambda total: RegionalTopology(total, ("east", "west"))``).
+        Default: a near-cubic :class:`TorusTopology`.
     """
 
     def __init__(
@@ -40,6 +44,7 @@ class Machine:
         spec: Optional[MachineSpec] = None,
         *,
         fs_interference: bool = True,
+        topology=None,
     ):
         if n_compute_nodes < 1:
             raise ValueError("need at least one compute node")
@@ -55,7 +60,17 @@ class Machine:
             )
         self.n_compute_nodes = n_compute_nodes
         self.n_staging_nodes = n_staging_nodes
-        self.topology = TorusTopology(total)
+        if topology is None:
+            self.topology = TorusTopology(total)
+        elif callable(topology):
+            self.topology = topology(total)
+        else:
+            self.topology = topology
+        if self.topology.n < total:
+            raise ValueError(
+                f"topology holds {self.topology.n} nodes but the "
+                f"allocation needs {total}"
+            )
         self.network = Network(env, self.topology, self.spec.network)
         self.filesystem = ParallelFileSystem(
             env, self.spec.filesystem, interference=fs_interference

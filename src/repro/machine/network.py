@@ -117,6 +117,13 @@ class Network:
         self._avg_hops = max(topology.average_hops(), 1e-9)
         #: fault-injection hook: node -> [(start, end, factor), ...]
         self._degrade_windows: dict[int, list[tuple[float, float, float]]] = {}
+        # -- regional layering (RegionalTopology only) --------------------
+        #: whether the topology carves nodes into named regions
+        self.regional = hasattr(topology, "region_of")
+        #: extra-latency windows per region pair: {pair: [(start, end, extra)]}
+        self._region_windows: dict[frozenset, list[tuple[float, float, float]]] = {}
+        #: bytes moved between each region pair (sorted-name key)
+        self.region_bytes: dict[tuple[str, str], float] = {}
         _LIVE.append(weakref.ref(self))
 
     # -- fault hooks -------------------------------------------------------
@@ -143,6 +150,51 @@ class Network:
             if start <= now < end:
                 mult *= factor
         return mult
+
+    # -- regional latency --------------------------------------------------
+    def region_extra_window(
+        self, region_a: str, region_b: str, start: float, end: float, extra: float
+    ) -> None:
+        """Add *extra* seconds to cross-``(region_a, region_b)`` transfers
+        posted during ``[start, end)``.
+
+        The regional fault primitive: a slow inter-site link (small
+        ``extra``) or a partition/flap (``extra`` well past the fetch
+        timeout, so pulls posted into the window are abandoned and
+        retried after it heals).  Windows stack additively when they
+        overlap; both directions are affected symmetrically.
+        """
+        if not self.regional:
+            raise ValueError("network topology has no regions")
+        # validate the names through the topology
+        self.topology.latency_class(region_a, region_b)
+        if region_a == region_b:
+            raise ValueError("region window needs two distinct regions")
+        if end <= start:
+            raise ValueError("region window must have end > start")
+        if extra < 0:
+            raise ValueError("extra latency must be non-negative")
+        key = frozenset((region_a, region_b))
+        self._region_windows.setdefault(key, []).append((start, end, extra))
+
+    def _regional_extra(self, src: int, dst: int, now: float) -> float:
+        """Static pair latency + any active window extras for src->dst."""
+        topo = self.topology
+        ra, rb = topo.region_of(src), topo.region_of(dst)
+        if ra == rb:
+            return 0.0
+        extra = topo.latency_class(ra, rb).extra_latency
+        windows = self._region_windows.get(frozenset((ra, rb)))
+        if windows:
+            for start, end, window_extra in windows:
+                if start <= now < end:
+                    extra += window_extra
+        return extra
+
+    def _account_region_bytes(self, src: int, dst: int, nbytes: float) -> None:
+        topo = self.topology
+        key = tuple(sorted((topo.region_of(src), topo.region_of(dst))))
+        self.region_bytes[key] = self.region_bytes.get(key, 0.0) + nbytes
 
     # -- NIC management ---------------------------------------------------
     def nic(self, node: int) -> NIC:
@@ -180,6 +232,11 @@ class Network:
         latency = cfg.latency + cfg.hop_latency * self.topology.hops(src, dst)
         if rdma:
             latency += cfg.rdma_setup
+        if self.regional:
+            # cross-region latency class + any partition/flap windows
+            # active right now (0.0 intra-region, so a regional topology
+            # with all-local classes stays byte-identical to the torus)
+            latency += self._regional_extra(src, dst, self.env.now)
         yield self.env.timeout(latency)
         if nbytes > 0 and src != dst:
             snic, dnic = self.nic(src), self.nic(dst)
@@ -195,6 +252,8 @@ class Network:
             yield done
             snic.bytes_tx += nbytes
             dnic.bytes_rx += nbytes
+            if self.regional:
+                self._account_region_bytes(src, dst, nbytes)
             obs = self.env.obs
             if obs is not None:
                 obs.metrics.inc("net_bytes", nbytes)

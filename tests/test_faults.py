@@ -223,3 +223,119 @@ def test_disabled_injector_is_bit_identical_to_no_injector(seed):
             disabled.merged.read_global_array("rho", s),
             absent.merged.read_global_array("rho", s),
         )
+
+
+# ------------------------------------ corrupt / withheld fetch primitives
+def test_corrupt_and_withhold_plans_consumed_per_attempt():
+    eng, machine = _machine()
+    inj = FaultInjector(eng, machine, seed=0)
+    inj.corrupt_chunk(1, 0, attempts=2)
+    inj.withhold_fetch(1, 0)
+    assert inj.fetch_fault(1, 0, 0) == ("corrupt", 0.0)
+    assert inj.fetch_fault(1, 0, 1) == ("corrupt", 0.0)
+    assert inj.fetch_fault(1, 0, 2) == ("withhold", 0.0)
+    assert inj.fetch_fault(1, 0, 3) is None
+    assert [k for k, _, _ in inj.injected] == [
+        "fetch_corrupt", "fetch_corrupt", "fetch_withhold",
+    ]
+
+
+def test_corrupt_and_withhold_disabled_are_noops():
+    eng, machine = _machine()
+    inj = FaultInjector(eng, machine, seed=0, enabled=False)
+    inj.corrupt_chunk(0, 0)
+    inj.withhold_fetch(0, 0)
+    assert inj.fetch_fault(0, 0, 0) is None
+    assert inj.injected == []
+
+
+def test_corrupt_chunk_is_rejected_and_refetched_end_to_end():
+    """A corrupted fetch must be detected via the pack-time checksum,
+    rejected, and satisfied by a clean re-fetch — zero data loss."""
+
+    class _Harness:
+        def attach(self, env, machine, predata, *, nsteps):
+            inj = FaultInjector(env, machine, seed=5, enabled=True)
+            inj.arm(predata.client)
+            inj.corrupt_chunk(0, 0)
+            self.injector = inj
+
+    h = _Harness()
+    run = run_once(
+        inject=False, make_injector=False, scenario_harness=h,
+        resilience=ResilienceConfig(fetch_timeout=1.0, fetch_max_attempts=4),
+        **_SMALL,
+    )
+    assert run.complete
+    assert run.fetch_retries >= 1
+    assert [k for k, _, _ in h.injector.injected] == ["fetch_corrupt"]
+    for s in range(_SMALL["nsteps"]):
+        expected = run.merged.read_global_array("rho", s)
+        assert expected is not None
+
+
+def test_withheld_fetch_recovers_end_to_end():
+    """A silently withheld response must be ended by the per-attempt
+    deadline (not an error), then satisfied by a retry."""
+
+    class _Harness:
+        def attach(self, env, machine, predata, *, nsteps):
+            inj = FaultInjector(env, machine, seed=5, enabled=True)
+            inj.arm(predata.client)
+            inj.withhold_fetch(0, 0)
+            self.injector = inj
+
+    h = _Harness()
+    run = run_once(
+        inject=False, make_injector=False, scenario_harness=h,
+        resilience=ResilienceConfig(fetch_timeout=0.5, fetch_max_attempts=4),
+        **_SMALL,
+    )
+    assert run.complete
+    assert run.fetch_retries >= 1
+    assert [k for k, _, _ in h.injector.injected] == ["fetch_withhold"]
+
+
+# --------------------------------- random_fetch_faults determinism guard
+class _RandomFaultHarness:
+    """Attach hook arming a seeded random fetch-fault storm."""
+
+    def __init__(self, seed: int):
+        self.seed = seed
+        self.injector = None
+
+    def attach(self, env, machine, predata, *, nsteps):
+        inj = FaultInjector(env, machine, seed=self.seed, enabled=True)
+        inj.arm(predata.client)
+        inj.random_fetch_faults(drop_prob=0.3, slow_prob=0.3, slow_seconds=0.2)
+        self.injector = inj
+
+
+def _random_fault_run(seed: int):
+    h = _RandomFaultHarness(seed)
+    run = run_once(
+        inject=False, make_injector=False, scenario_harness=h,
+        resilience=ResilienceConfig(
+            fetch_timeout=1.0, fetch_retry_backoff=0.25, fetch_max_attempts=6
+        ),
+        **_SMALL,
+    )
+    return run, h.injector
+
+
+def test_random_fetch_faults_same_seed_same_fault_set():
+    """Two fresh engines, same seed: the random storm must fire the
+    identical fault set (kinds, times, targets) and the runs must be
+    bit-identical."""
+    run_a, inj_a = _random_fault_run(seed=42)
+    run_b, inj_b = _random_fault_run(seed=42)
+    assert inj_a.injected, "storm fired nothing — probabilities too low"
+    assert inj_a.injected == inj_b.injected
+    assert fingerprint(run_a) == fingerprint(run_b)
+    assert run_a.complete and run_b.complete
+
+
+def test_random_fetch_faults_different_seed_moves_the_set():
+    _run_a, inj_a = _random_fault_run(seed=1)
+    _run_b, inj_b = _random_fault_run(seed=2)
+    assert inj_a.injected != inj_b.injected

@@ -329,3 +329,37 @@ def test_stream_replay_is_additive_and_deterministic(bridged):
     d1 = _stream_replay(run, bridge)
     assert fingerprint(run) == fp_before
     assert _stream_replay(run, bridge) == d1
+
+
+def _run_with_zero_scenarios():
+    """The traced no-fault combo with a zero-intensity scenario harness."""
+    from repro.scenarios import ScenarioHarness, get, make, names
+
+    harness = ScenarioHarness(
+        [make(n, intensity=0.0) for n in names() if not get(n).needs_regions]
+    )
+    sinks = dict(
+        obs=Observability(label="matrix"),
+        schedule_trace=ScheduleTrace(),
+        check=Checker(),
+    )
+    with REGISTRY.use("vectorized"):
+        run = run_once(inject=False, scenario_harness=harness, **sinks)
+    return fingerprint(run), run, sinks, harness
+
+
+def test_zero_intensity_scenario_harness_is_byte_invisible(matrix):
+    """A scenario harness whose every scenario has intensity 0 must
+    attach nothing: fingerprint AND executed-schedule hash unchanged
+    vs the plain traced combo."""
+    fp_plain, _, sinks_plain = matrix[(False, True, False, "vectorized")]
+    fp_scen, _run, sinks_scen, harness = _run_with_zero_scenarios()
+    assert harness.attached and not harness.active
+    assert harness.injector is None, "zero-intensity harness armed an injector"
+    assert fp_scen == fp_plain, "zero-intensity scenario harness changed the run"
+    plain_trace = sinks_plain["schedule_trace"]
+    scen_trace = sinks_scen["schedule_trace"]
+    assert scen_trace.count == plain_trace.count
+    assert scen_trace.schedule_hash == plain_trace.schedule_hash, (
+        "zero-intensity scenario harness perturbed the executed schedule"
+    )

@@ -214,3 +214,111 @@ def test_machine_validation():
     m = Machine(eng, 4, spec=TESTING_TINY)
     with pytest.raises(IndexError):
         m.node(4)
+
+
+# -- regional layering -------------------------------------------------------
+def make_regional_net(**cfg):
+    from repro.machine import LatencyClass, RegionalTopology
+
+    eng = Engine()
+    topo = RegionalTopology(
+        8,
+        ("east", "west"),
+        classes={"wan": LatencyClass("wan", 0.5)},
+        pair_classes={("east", "west"): "wan"},
+    )
+    net = Network(eng, topo, NetworkConfig(**cfg))
+    return eng, topo, net
+
+
+def _timed(eng, net, src, dst, nbytes=0.0):
+    def proc():
+        t = yield from net.transfer(src, dst, nbytes)
+        return t
+
+    p = eng.process(proc())
+    eng.run()
+    return p.value
+
+
+def test_cross_region_transfer_pays_the_latency_class():
+    eng, topo, net = make_regional_net(latency=1e-6, hop_latency=0.0)
+    east = topo.region_nodes("east")[0]
+    west = topo.region_nodes("west")[0]
+    assert _timed(eng, net, east, west) == pytest.approx(0.5 + 1e-6)
+
+
+def test_intra_region_transfer_pays_nothing_extra():
+    eng, topo, net = make_regional_net(latency=1e-6, hop_latency=0.0)
+    a, b = topo.region_nodes("east")[:2]
+    assert _timed(eng, net, a, b) == pytest.approx(1e-6)
+
+
+def test_all_local_regional_topology_matches_plain_torus():
+    from repro.machine import RegionalTopology
+
+    eng1 = Engine()
+    plain = Network(eng1, TorusTopology(8), NetworkConfig(hop_latency=0.0))
+    eng2 = Engine()
+    regional = Network(
+        eng2, RegionalTopology(8, ("east", "west")), NetworkConfig(hop_latency=0.0)
+    )
+    assert _timed(eng1, plain, 0, 7, 1e6) == _timed(eng2, regional, 0, 7, 1e6)
+
+
+def test_region_window_adds_only_inside_the_window():
+    eng, topo, net = make_regional_net(latency=0.0, hop_latency=0.0)
+    east = topo.region_nodes("east")[0]
+    west = topo.region_nodes("west")[0]
+    net.region_extra_window("east", "west", 10.0, 20.0, 2.0)
+    times = {}
+
+    def probe(name, at):
+        yield eng.timeout(at)
+        t = yield from net.transfer(east, west, 0.0)
+        times[name] = t
+
+    eng.process(probe("before", 0.0))
+    eng.process(probe("inside", 12.0))
+    eng.process(probe("after", 25.0))
+    eng.run()
+    assert times["before"] == pytest.approx(0.5)
+    assert times["inside"] == pytest.approx(0.5 + 2.0)
+    assert times["after"] == pytest.approx(0.5)
+
+
+def test_region_window_validation():
+    eng, _topo, net = make_regional_net()
+    with pytest.raises(ValueError):
+        net.region_extra_window("east", "east", 0.0, 1.0, 1.0)
+    with pytest.raises(ValueError):
+        net.region_extra_window("east", "west", 1.0, 1.0, 1.0)
+    with pytest.raises(ValueError):
+        net.region_extra_window("east", "west", 0.0, 1.0, -1.0)
+    with pytest.raises(KeyError):
+        net.region_extra_window("east", "mars", 0.0, 1.0, 1.0)
+    eng2, plain = make_net()
+    with pytest.raises(ValueError):
+        plain.region_extra_window("east", "west", 0.0, 1.0, 1.0)
+
+
+def test_region_byte_accounting_is_pairwise_and_symmetric():
+    eng, topo, net = make_regional_net(latency=0.0, hop_latency=0.0)
+    east = topo.region_nodes("east")[0]
+    west = topo.region_nodes("west")[0]
+
+    def proc():
+        yield from net.transfer(east, west, 1000.0)
+        yield from net.transfer(west, east, 500.0)
+        yield from net.transfer(east, topo.region_nodes("east")[1], 250.0)
+
+    eng.process(proc())
+    eng.run()
+    assert net.region_bytes[("east", "west")] == pytest.approx(1500.0)
+    assert net.region_bytes[("east", "east")] == pytest.approx(250.0)
+
+
+def test_plain_torus_network_has_no_regional_state():
+    _eng, net = make_net()
+    assert not net.regional
+    assert net.region_bytes == {}
